@@ -1,0 +1,86 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* Hierarchical aggregation vs. publishing raw edge events to the cloud.
+* Trigger batch size for the Figure 4 workload.
+* Acks / replication durability settings (the Table III sweep condensed).
+"""
+
+import pytest
+
+from repro.monitoring.aggregator import LocalAggregator
+from repro.monitoring.fsmon import FileSystemMonitor
+from repro.faas.scaling import TriggerScalingSimulator
+from repro.simulation.cluster_model import CLUSTER_CONFIGS, ClusterCapacityModel
+
+
+def run_aggregation_ablation(num_files: int = 500):
+    """Events reaching the cloud with and without the local aggregator."""
+    monitor = FileSystemMonitor("lustre")
+    aggregator = LocalAggregator()
+    monitor.set_sink(lambda event: aggregator.offer(event.to_dict()))
+    for index in range(num_files):
+        path = f"/runs/file_{index:05d}.h5"
+        monitor.create_file(path, 1 << 20)
+        monitor.modify_file(path, 2 << 20)
+        monitor.modify_file(path, 3 << 20)
+        monitor.close_file(path)
+    return {
+        "raw_events": len(monitor.events),
+        "forwarded_events": aggregator.stats.events_out,
+        "reduction_factor": aggregator.stats.reduction_factor,
+    }
+
+
+def test_ablation_hierarchical_aggregation(benchmark):
+    result = benchmark(run_aggregation_ablation)
+    print("\nAblation — hierarchical aggregation")
+    print(f"  raw edge events:      {result['raw_events']}")
+    print(f"  forwarded to cloud:   {result['forwarded_events']}")
+    print(f"  reduction factor:     {result['reduction_factor']:.1f}x")
+    # Four raw events per file, one forwarded: a 4x reduction in cloud traffic
+    # (and therefore trigger invocations / egress cost).
+    assert result["reduction_factor"] == pytest.approx(4.0, rel=0.05)
+
+
+def run_trigger_batch_ablation():
+    completion = {}
+    for batch_size in (1, 10, 100):
+        simulator = TriggerScalingSimulator(
+            num_tasks=2000, task_duration_seconds=10.0, partitions=64,
+            batch_size=batch_size,
+        )
+        samples = simulator.run()
+        completion[batch_size] = simulator.completion_time(samples)
+    return completion
+
+
+def test_ablation_trigger_batch_size(benchmark):
+    completion = benchmark(run_trigger_batch_ablation)
+    print("\nAblation — trigger batch size (2000 x 10 s tasks, 64 partitions)")
+    for batch_size, seconds in completion.items():
+        print(f"  batch={batch_size:>4}: completes in {seconds:7.0f} s")
+    assert completion[10] < completion[1]
+    assert completion[100] <= completion[10]
+
+
+def run_durability_ablation():
+    model = ClusterCapacityModel(CLUSTER_CONFIGS["baseline"])
+    return {
+        (acks, rf): model.produce_capacity(
+            event_size_bytes=1024, acks=acks, replication_factor=rf
+        )
+        for acks in (0, 1, "all")
+        for rf in (2, 4)
+    }
+
+
+def test_ablation_durability_settings(benchmark):
+    capacities = benchmark(run_durability_ablation)
+    print("\nAblation — durability settings (1 KB events, baseline cluster)")
+    for (acks, rf), capacity in capacities.items():
+        print(f"  acks={acks!s:>4} rf={rf}: {capacity / 1e3:7.0f} K events/s")
+    # Stronger durability always costs throughput.
+    assert capacities[(0, 2)] > capacities[(1, 2)] > capacities[("all", 2)]
+    assert capacities[(0, 2)] > capacities[(0, 4)]
+    # The cheapest setting is ~3x the most durable one.
+    assert capacities[(0, 2)] / capacities[("all", 4)] > 2.5

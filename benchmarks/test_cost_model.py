@@ -1,0 +1,38 @@
+"""Section VII-C — cloud cost model.
+
+The paper's example: 10,000 events/hour for each of 10 resources invokes
+2.4 M Lambdas per day, costing about $24/day with 5 s / 4 KB triggers; the
+smallest MSK cluster costs about $70/month; aggregation cuts trigger costs
+by orders of magnitude.
+"""
+
+import pytest
+
+from repro.bench.costs import TriggerCostModel, scheduling_example_daily_cost
+
+
+def test_cost_model_scheduling_example(benchmark):
+    result = benchmark(scheduling_example_daily_cost)
+    model = TriggerCostModel()
+    print("\nSection VII-C — cost model")
+    print(f"  invocations/day:   {result['invocations_per_day']:,.0f}")
+    print(f"  lambda cost/day:   ${result['lambda_cost_usd']:.2f}")
+    print(f"  egress cost/day:   ${result['egress_cost_usd']:.2f}")
+    print(f"  total cost/day:    ${result['total_cost_usd']:.2f}")
+    print(f"  MSK minimum/month: ${model.monthly_minimum_broker_cost():.2f}")
+    # 10,000 x 10 x 24 = 2.4M invocations per day, ~$24/day for Lambda.
+    assert result["invocations_per_day"] == pytest.approx(2.4e6)
+    assert result["lambda_cost_usd"] == pytest.approx(24.0, rel=0.05)
+    # Egress is negligible in comparison.
+    assert result["egress_cost_usd"] < 0.05 * result["lambda_cost_usd"]
+    # The minimum monthly MSK cost is about $70.
+    assert model.monthly_minimum_broker_cost() == pytest.approx(70.0, rel=0.1)
+
+
+def test_cost_model_aggregation_mitigation(benchmark):
+    aggregated = benchmark(scheduling_example_daily_cost, aggregation_factor=100.0)
+    raw = scheduling_example_daily_cost()
+    print(f"\n  raw trigger cost/day:        ${raw['total_cost_usd']:.2f}")
+    print(f"  aggregated (100x) cost/day:  ${aggregated['total_cost_usd']:.4f}")
+    # Aggregating events at the edge reduces trigger costs by orders of magnitude.
+    assert aggregated["total_cost_usd"] < raw["total_cost_usd"] / 50.0

@@ -1,0 +1,75 @@
+"""Functional micro-benchmarks of the in-process fabric itself.
+
+These complement the calibrated model benches: they measure the actual
+Python implementation's produce/consume rates through the benchmarking
+operator (Section V-B), and the trigger path end to end.  Absolute numbers
+are far below the paper's MSK cluster (this is a single-process pure-Python
+broker), but the relative effects — acks cost, read-vs-write asymmetry —
+are visible here too.
+"""
+
+import pytest
+
+from repro.bench.operator import BenchmarkOperator
+from repro.core import OctopusDeployment
+from repro.faas.function import FunctionDefinition
+
+NUM_EVENTS = 2000
+
+
+@pytest.fixture(scope="module")
+def operator():
+    op = BenchmarkOperator(num_brokers=2)
+    op.provision_topic("bench-acks0", partitions=2)
+    op.provision_topic("bench-acks1", partitions=2)
+    op.provision_topic("bench-acksall", partitions=2)
+    return op
+
+
+def test_fabric_produce_consume_acks0(benchmark, operator):
+    result = benchmark.pedantic(
+        operator.run_round,
+        kwargs=dict(topic="bench-acks0", num_events=NUM_EVENTS, acks=0),
+        rounds=1, iterations=1,
+    )
+    print(f"\nFunctional fabric, acks=0: produce {result.produce_throughput:,.0f} ev/s, "
+          f"consume {result.consume_throughput:,.0f} ev/s, "
+          f"median latency {result.produce_latency.median_ms:.3f} ms")
+    assert result.events == NUM_EVENTS
+    assert result.produce_throughput > 0
+    assert result.consume_throughput > result.produce_throughput * 0.5
+
+
+def test_fabric_produce_consume_acks_all(benchmark, operator):
+    result = benchmark.pedantic(
+        operator.run_round,
+        kwargs=dict(topic="bench-acksall", num_events=NUM_EVENTS, acks="all"),
+        rounds=1, iterations=1,
+    )
+    print(f"\nFunctional fabric, acks=all: produce {result.produce_throughput:,.0f} ev/s")
+    assert result.events == NUM_EVENTS
+    assert result.produce_throughput > 0
+
+
+def run_trigger_path(deployment, client, n_events):
+    processed = []
+    deployment.triggers.register_function(
+        FunctionDefinition(name="count", handler=lambda e, c: processed.extend(e["records"]))
+    )
+    client.create_trigger("trigger-bench", "count", batch_size=500)
+    producer = client.producer()
+    for i in range(n_events):
+        producer.send("trigger-bench", {"event_type": "created", "i": i})
+    deployment.run_triggers()
+    return len(processed)
+
+
+def test_trigger_path_end_to_end(benchmark):
+    deployment = OctopusDeployment.create()
+    client = deployment.client("bench", "anl.gov")
+    client.register_topic("trigger-bench", {"num_partitions": 4})
+    count = benchmark.pedantic(
+        run_trigger_path, args=(deployment, client, 1000), rounds=1, iterations=1
+    )
+    print(f"\nTrigger path processed {count} events end to end")
+    assert count == 1000

@@ -1,0 +1,34 @@
+"""Figure 3 — median and p99 latency vs. throughput, configurations 1–6.
+
+Sweeps 20–100 remote producers for each baseline-cluster configuration and
+prints the latency/throughput curves; checks the monotone shape and the
+relative position of the curves (32 B highest throughput, acks=all highest
+latency).
+"""
+
+from repro.bench.report import format_figure_series
+from repro.simulation.evaluation import run_figure3_series
+
+
+def test_figure3_latency_vs_throughput(benchmark):
+    series = benchmark(run_figure3_series)
+    print("\n" + format_figure_series(
+        "Figure 3 — latency vs. throughput (remote producers, baseline cluster)", series
+    ))
+    assert sorted(series) == [1, 2, 3, 4, 5, 6]
+    for experiment, points in series.items():
+        throughputs = [p.throughput for p in points]
+        medians = [p.median_latency_ms for p in points]
+        p99s = [p.p99_latency_ms for p in points]
+        # Throughput is non-decreasing in producer count; latency rises with load.
+        assert all(a <= b + 1e-9 for a, b in zip(throughputs, throughputs[1:]))
+        assert medians[-1] >= medians[0]
+        assert all(p99 >= med for p99, med in zip(p99s, medians))
+    peak = {exp: max(p.throughput for p in pts) for exp, pts in series.items()}
+    # 32 B events reach millions of events/s; 4 KB tops out around tens of K.
+    assert peak[1] > 3e6
+    assert peak[5] < 1e5
+    # acks=all (exp 4) is the slowest 1 KB configuration and the highest latency.
+    assert peak[4] < peak[3] < peak[2]
+    final_median = {exp: pts[-1].median_latency_ms for exp, pts in series.items()}
+    assert final_median[4] == max(final_median.values())

@@ -1,0 +1,35 @@
+"""Figure 4 — trigger scaling under a backlog of 5000 thirty-second tasks.
+
+The topic has 128 partitions and the trigger consumes single-event batches;
+Lambda's processing-pressure evaluation scales concurrency from 3 to 128
+within about four minutes and back down shortly before the workload
+finishes (total runtime inside the paper's 1500 s window).
+"""
+
+from repro.bench.report import format_scaling_series
+from repro.faas.scaling import TriggerScalingSimulator
+
+
+def run_figure4():
+    simulator = TriggerScalingSimulator(
+        num_tasks=5000, task_duration_seconds=30.0, partitions=128, batch_size=1
+    )
+    return simulator, simulator.run()
+
+
+def test_figure4_trigger_scaling(benchmark):
+    simulator, samples = benchmark(run_figure4)
+    print("\n" + format_scaling_series(
+        "Figure 4 — trigger scaling (5000 x 30 s tasks, 128 partitions)", samples, stride=120
+    ))
+    # Scales to 128 concurrent invocations within ~4-5 minutes.
+    assert simulator.peak_concurrency(samples) == 128
+    time_to_peak = simulator.time_to_reach(samples, 128)
+    assert time_to_peak is not None and time_to_peak <= 300.0
+    # Entire backlog completes within the paper's 1500 s axis.
+    completion = simulator.completion_time(samples)
+    assert 900.0 <= completion <= 1600.0
+    assert samples[-1].completed == 5000
+    # Concurrency scales down before the workload is fully complete.
+    tail = [s for s in samples if s.time_seconds >= completion - 90.0]
+    assert any(s.concurrent_invocations < 128 for s in tail)

@@ -1,0 +1,32 @@
+"""Figure 5 — multi-tenancy: throughput vs. number of topics.
+
+Scale-out cluster (4 brokers), 1–32 single-partition topics, 1 KB events,
+32 producers and 32 consumers.  Producer throughput rises until four
+topics (~273 K events/s) and then flattens; consumer throughput keeps
+rising until ~16 topics (~846 K events/s).
+"""
+
+import pytest
+
+from repro.bench.report import format_figure5
+from repro.simulation.evaluation import run_figure5_multitenancy
+
+
+def test_figure5_multitenancy(benchmark):
+    points = benchmark(run_figure5_multitenancy)
+    print("\n" + format_figure5(points))
+    by_topics = {p.num_topics: p for p in points}
+    assert sorted(by_topics) == [1, 2, 4, 8, 16, 32]
+    # Producer throughput saturates at 4 topics near the paper's 273 K.
+    assert by_topics[4].producer_throughput == pytest.approx(273_000, rel=0.25)
+    assert by_topics[4].producer_throughput > 2.5 * by_topics[1].producer_throughput
+    for topics in (8, 16, 32):
+        assert by_topics[topics].producer_throughput == pytest.approx(
+            by_topics[4].producer_throughput, rel=0.02
+        )
+    # Consumer throughput keeps growing until 16 topics (~846 K) then flattens.
+    assert by_topics[16].consumer_throughput == pytest.approx(846_000, rel=0.25)
+    assert by_topics[16].consumer_throughput > by_topics[4].consumer_throughput
+    assert by_topics[32].consumer_throughput == pytest.approx(
+        by_topics[16].consumer_throughput, rel=0.02
+    )

@@ -1,0 +1,41 @@
+"""Figure 8 — Parsl workflow monitoring overhead: HTEX vs. Octopus.
+
+128 tasks across eight nodes, 1–64 workers, task durations 0 / 10 / 100 ms.
+The asynchronous overhead per event decreases as the number of workers
+(and thus events) increases, and the Octopus monitor stays below the
+HTEX database monitor at every point.
+"""
+
+from repro.apps.workflow import run_monitoring_overhead_experiment
+
+WORKER_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+DURATIONS = (0.0, 0.010, 0.100)
+
+
+def test_figure8_monitoring_overhead(benchmark):
+    results = benchmark(
+        run_monitoring_overhead_experiment,
+        worker_counts=WORKER_COUNTS,
+        task_durations_seconds=DURATIONS,
+    )
+    print("\nFigure 8 — async monitoring overhead per event (ms)")
+    for duration in DURATIONS:
+        label = "noop" if duration == 0.0 else f"sleep{int(duration * 1000)}ms"
+        print(f"  {label}:")
+        print(f"    {'workers':>8} {'HTEX':>10} {'Octopus':>10}")
+        for htex_point, octo_point in zip(results["HTEX"][duration],
+                                          results["Octopus"][duration]):
+            print(f"    {htex_point['workers']:>8} "
+                  f"{htex_point['overhead_per_event_ms']:>10.2f} "
+                  f"{octo_point['overhead_per_event_ms']:>10.2f}")
+    for duration in DURATIONS:
+        htex = [p["overhead_per_event_ms"] for p in results["HTEX"][duration]]
+        octopus = [p["overhead_per_event_ms"] for p in results["Octopus"][duration]]
+        # Overhead per event decreases with the number of workers.
+        assert htex[0] > htex[-1]
+        assert octopus[0] > octopus[-1]
+        # Octopus stays below HTEX at every worker count.
+        assert all(o < h for o, h in zip(octopus, htex))
+        # More workers -> more events generated.
+        events = [p["events"] for p in results["Octopus"][duration]]
+        assert events[-1] > events[0]

@@ -1,0 +1,47 @@
+"""Table I — use-case event characteristics.
+
+Regenerates the event-rate/size characterisation of the five use cases by
+generating each use case's synthetic workload and measuring its rate and
+mean event size, then printing the table the paper reports.
+"""
+
+from repro.bench.configs import USE_CASES
+from repro.fabric.record import EventRecord
+from repro.simulation.workload import use_case_workload
+
+NUM_RESOURCES = 4
+WINDOW_SECONDS = 600.0
+
+
+def generate_all_use_cases():
+    summary = {}
+    for name, profile in USE_CASES.items():
+        events = list(
+            use_case_workload(name, num_resources=NUM_RESOURCES,
+                              duration_seconds=WINDOW_SECONDS)
+        )
+        sizes = [EventRecord(value=e).size_bytes() for e in events[:200]] or [0]
+        summary[name] = {
+            "events_per_hour_per_resource": len(events) / NUM_RESOURCES / (WINDOW_SECONDS / 3600.0),
+            "mean_event_size": sum(sizes) / len(sizes),
+            "expected_rate": profile.events_per_hour_per_resource,
+            "expected_size": profile.mean_event_size_bytes,
+        }
+    return summary
+
+
+def test_table1_use_case_characteristics(benchmark):
+    summary = benchmark(generate_all_use_cases)
+    print("\nTable I — characteristics of events for Octopus use cases")
+    print(f"{'Use case':>16} {'Events/h (meas)':>16} {'Events/h (paper)':>17} "
+          f"{'Size (meas)':>12} {'Size (paper)':>13}")
+    for name, row in summary.items():
+        print(f"{name:>16} {row['events_per_hour_per_resource']:>16.0f} "
+              f"{row['expected_rate']:>17.0f} {row['mean_event_size']:>12.0f} "
+              f"{row['expected_size']:>13d}")
+    for name, row in summary.items():
+        # Generated rates land within 40% of the paper's order-of-magnitude figures.
+        assert row["events_per_hour_per_resource"] == row["expected_rate"] * 1.0 or \
+            abs(row["events_per_hour_per_resource"] - row["expected_rate"]) \
+            <= 0.4 * row["expected_rate"]
+        assert abs(row["mean_event_size"] - row["expected_size"]) <= 0.5 * row["expected_size"]

@@ -1,0 +1,42 @@
+"""Table II — testbed cluster configurations.
+
+Builds each cluster configuration as an actual fabric cluster plus its
+capacity model, and prints the table (brokers, type, vCPUs, memory)
+together with the modelled 1 KB write capacity of each configuration.
+"""
+
+from repro.bench.configs import CLUSTERS
+from repro.fabric.cluster import FabricCluster
+from repro.simulation.cluster_model import ClusterCapacityModel
+
+
+def build_all_clusters():
+    built = {}
+    for name, spec in CLUSTERS.items():
+        cluster = FabricCluster(
+            num_brokers=spec.num_brokers,
+            instance_type=spec.instance_type,
+            vcpus_per_broker=spec.vcpus_per_broker,
+            memory_gb_per_broker=spec.memory_gb_per_broker,
+            name=name,
+        )
+        capacity = ClusterCapacityModel(spec).produce_capacity(
+            event_size_bytes=1024, partitions=4
+        )
+        built[name] = (cluster.describe(), spec.describe(), capacity)
+    return built
+
+
+def test_table2_cluster_configurations(benchmark):
+    built = benchmark(build_all_clusters)
+    print("\nTable II — testbed cluster configurations")
+    print(f"{'Name':>10} {'Brokers':>8} {'Type':>18} {'vCPU':>5} {'Mem':>6} {'1KB write cap':>14}")
+    for name, (cluster_info, spec_info, capacity) in built.items():
+        print(f"{name:>10} {spec_info['num_brokers']:>8} {spec_info['broker_type']:>18} "
+              f"{spec_info['vcpus_per_broker']:>5} {spec_info['memory_per_broker_gb']:>4}GB "
+              f"{capacity / 1e3:>11.0f} K/s")
+    assert built["baseline"][1]["num_brokers"] == 2
+    assert built["scale-up"][1]["vcpus_per_broker"] == 4
+    assert built["scale-out"][1]["num_brokers"] == 4
+    # Both scaled clusters beat the baseline; scale-out beats scale-up.
+    assert built["scale-out"][2] > built["scale-up"][2] > built["baseline"][2]

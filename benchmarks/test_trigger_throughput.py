@@ -1,0 +1,30 @@
+"""Section V-D (in-text) — trigger throughput vs. partitions and event size.
+
+With a single partition, trigger consumers reach about 22 K / 7 K / 2 K
+events/s for 32 B / 1 KB / 4 KB events; with 8 partitions roughly six
+times faster (~147 K / 39 K / 12 K events/s).
+"""
+
+import pytest
+
+from repro.simulation.evaluation import run_trigger_throughput
+
+PAPER = {
+    (1, 32): 22_000, (1, 1024): 7_000, (1, 4096): 2_000,
+    (8, 32): 147_000, (8, 1024): 39_000, (8, 4096): 12_000,
+}
+
+
+def test_trigger_throughput_vs_partitions_and_size(benchmark):
+    points = benchmark(run_trigger_throughput)
+    measured = {(p.partitions, p.event_size_bytes): p.events_per_second for p in points}
+    print("\nSection V-D — trigger consumer throughput")
+    print(f"{'partitions':>10} {'size (B)':>9} {'measured':>12} {'paper':>10}")
+    for key, value in sorted(measured.items()):
+        print(f"{key[0]:>10} {key[1]:>9} {value:>10.0f}/s {PAPER[key]:>8}/s")
+    for key, paper_value in PAPER.items():
+        assert measured[key] == pytest.approx(paper_value, rel=0.35), key
+    # 8 partitions are roughly six times faster than 1 partition.
+    for size in (32, 1024, 4096):
+        ratio = measured[(8, size)] / measured[(1, size)]
+        assert 5.0 <= ratio <= 7.0

@@ -1,0 +1,82 @@
+"""Regenerate every table and figure of the paper's evaluation in one run.
+
+Prints Table III, the Figure 3 curves, the Figure 4 and Figure 7 scaling
+series, the Figure 5 multi-tenancy sweep, the Section V-D trigger
+throughput numbers, the Figure 8 monitoring overheads and the
+Section VII-C cost example.
+
+Run with::
+
+    python examples/reproduce_evaluation.py
+"""
+
+from repro.apps.workflow import run_monitoring_overhead_experiment
+from repro.bench.costs import TriggerCostModel, scheduling_example_daily_cost
+from repro.bench.report import (
+    format_figure5,
+    format_figure_series,
+    format_scaling_series,
+    format_table3,
+)
+from repro.faas.scaling import ScalingPolicy, TriggerScalingSimulator
+from repro.simulation.evaluation import (
+    run_figure3_series,
+    run_figure5_multitenancy,
+    run_full_table3,
+    run_trigger_throughput,
+)
+
+
+def main() -> None:
+    print("=" * 100)
+    print("Table III — baseline performance and scalability")
+    print(format_table3(run_full_table3()))
+
+    print("\n" + "=" * 100)
+    print(format_figure_series(
+        "Figure 3 — latency vs. throughput (remote producers)", run_figure3_series()
+    ))
+
+    print("\n" + "=" * 100)
+    figure4 = TriggerScalingSimulator(num_tasks=5000, task_duration_seconds=30.0,
+                                      partitions=128, batch_size=1)
+    print(format_scaling_series("Figure 4 — trigger scaling", figure4.run(), stride=120))
+
+    print("\n" + "=" * 100)
+    print(format_figure5(run_figure5_multitenancy()))
+
+    print("\n" + "=" * 100)
+    print("Section V-D — trigger throughput")
+    for point in run_trigger_throughput():
+        print(f"  partitions={point.partitions} size={point.event_size_bytes:>5} B: "
+              f"{point.events_per_second:>9.0f} events/s")
+
+    print("\n" + "=" * 100)
+    figure7 = TriggerScalingSimulator(
+        num_tasks=0, task_duration_seconds=15.0, partitions=8, batch_size=1,
+        arrival_fn=lambda t: 2 if t <= 60.0 else 0,
+        policy=ScalingPolicy(evaluation_interval_seconds=15.0, initial_concurrency=1,
+                             max_concurrency=8),
+    )
+    print(format_scaling_series("Figure 7 — data-automation trigger activity",
+                                figure7.run(max_seconds=400.0), stride=20))
+
+    print("\n" + "=" * 100)
+    print("Figure 8 — Parsl monitoring overhead per event (ms)")
+    results = run_monitoring_overhead_experiment()
+    for duration, label in ((0.0, "noop"), (0.010, "sleep10ms"), (0.100, "sleep100ms")):
+        print(f"  {label}:")
+        for htex, octo in zip(results["HTEX"][duration], results["Octopus"][duration]):
+            print(f"    workers={htex['workers']:>3}  HTEX={htex['overhead_per_event_ms']:6.2f}"
+                  f"  Octopus={octo['overhead_per_event_ms']:6.2f}")
+
+    print("\n" + "=" * 100)
+    print("Section VII-C — cost model")
+    cost = scheduling_example_daily_cost()
+    print(f"  scheduling example: {cost['invocations_per_day']:,.0f} invocations/day, "
+          f"${cost['total_cost_usd']:.2f}/day")
+    print(f"  minimum MSK cluster: ${TriggerCostModel().monthly_minimum_broker_cost():.2f}/month")
+
+
+if __name__ == "__main__":
+    main()

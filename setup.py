@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable builds (which require ``bdist_wheel``) are unavailable.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

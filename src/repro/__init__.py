@@ -1,0 +1,26 @@
+"""Reproduction of *Octopus: Experiences with a Hybrid Event-Driven
+Architecture for Distributed Scientific Computing* (SC 2024).
+
+The package re-implements, entirely in Python, every subsystem the paper
+relies on:
+
+* :mod:`repro.fabric` — a Kafka-like event fabric (brokers, topics,
+  partitions, replication, producers, consumers, consumer groups).
+* :mod:`repro.coordination` — a ZooKeeper-like strongly consistent
+  metadata store.
+* :mod:`repro.auth` — Globus-Auth-like OAuth 2.0 identity plus IAM
+  identities, access keys and per-topic ACLs.
+* :mod:`repro.faas` — a Lambda/EventBridge-like serverless trigger
+  substrate with processing-pressure autoscaling.
+* :mod:`repro.core` — Octopus proper: the web service (OWS), the Python
+  SDK, credential brokering and trigger management.
+* :mod:`repro.simulation` — a discrete-event simulator used to reproduce
+  the paper's performance evaluation (Table III, Figures 3–5, 7, 8).
+* :mod:`repro.monitoring`, :mod:`repro.services`, :mod:`repro.apps` — the
+  science-facing substrates and the five applications of Section VI.
+* :mod:`repro.bench` — the benchmarking operator and experiment matrix.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

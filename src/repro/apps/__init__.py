@@ -1,0 +1,35 @@
+"""The five scientific EDA applications of Section VI, built on Octopus.
+
+* :mod:`repro.apps.sdl` — self-driving laboratory event log and provenance.
+* :mod:`repro.apps.data_automation` — filesystem synchronization via
+  FSMon → local aggregation → Octopus trigger → transfer service.
+* :mod:`repro.apps.scheduling` — online, energy-aware FaaS task scheduling
+  from resource monitoring events.
+* :mod:`repro.apps.epidemic` — epidemic modelling and response platform.
+* :mod:`repro.apps.workflow` — dynamic workflow management: a Parsl-like
+  engine whose monitoring uses either an HTEX-style database or Octopus
+  (Figure 8).
+"""
+
+from repro.apps.sdl import SelfDrivingLab
+from repro.apps.data_automation import DataAutomationPipeline
+from repro.apps.scheduling import EnergyAwareScheduler, SchedulingApplication
+from repro.apps.epidemic import EpidemicPlatform
+from repro.apps.workflow import (
+    WorkflowEngine,
+    HTEXDatabaseMonitor,
+    OctopusWorkflowMonitor,
+    run_monitoring_overhead_experiment,
+)
+
+__all__ = [
+    "SelfDrivingLab",
+    "DataAutomationPipeline",
+    "EnergyAwareScheduler",
+    "SchedulingApplication",
+    "EpidemicPlatform",
+    "WorkflowEngine",
+    "HTEXDatabaseMonitor",
+    "OctopusWorkflowMonitor",
+    "run_monitoring_overhead_experiment",
+]

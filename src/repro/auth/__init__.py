@@ -1,0 +1,42 @@
+"""Authentication and authorization substrates.
+
+The paper builds Octopus' security model on Globus Auth (an OAuth 2.0
+identity and access-management platform federating thousands of identity
+providers) and maps authenticated users to AWS IAM identities whose keys
+authorize access to MSK topics.  This package provides both halves:
+
+* :mod:`repro.auth.identity` — identity providers and user identities.
+* :mod:`repro.auth.oauth` — an OAuth 2.0-style authorization server with
+  access tokens, scopes, refresh and dependent-token delegation.
+* :mod:`repro.auth.iam` — IAM identities, access keys and policies.
+* :mod:`repro.auth.acl` — per-topic access control lists.
+"""
+
+from repro.auth.identity import Identity, IdentityProvider, IdentityStore
+from repro.auth.oauth import (
+    AccessToken,
+    AuthorizationServer,
+    AuthError,
+    InvalidTokenError,
+    Scope,
+)
+from repro.auth.iam import AccessKey, IamIdentity, IamService, PolicyStatement
+from repro.auth.acl import AclEntry, AclStore, Operation
+
+__all__ = [
+    "Identity",
+    "IdentityProvider",
+    "IdentityStore",
+    "AccessToken",
+    "AuthorizationServer",
+    "AuthError",
+    "InvalidTokenError",
+    "Scope",
+    "AccessKey",
+    "IamIdentity",
+    "IamService",
+    "PolicyStatement",
+    "AclEntry",
+    "AclStore",
+    "Operation",
+]

@@ -1,0 +1,153 @@
+"""Per-topic access control lists.
+
+Fine-grained access control is one of the paper's core requirements
+(Section III-B): a user or group may only produce to and consume from the
+topics they have been granted, and owners self-manage sharing through the
+``POST /topic/<topic>/user`` route.  The ACL store keeps an entry per
+(principal, topic) pair with the set of allowed operations, and the fabric
+cluster consults it on every produce/fetch via its authorizer hook.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class Operation(str, Enum):
+    """Topic-level operations, mirroring Kafka ACL operation names."""
+
+    READ = "READ"
+    WRITE = "WRITE"
+    DESCRIBE = "DESCRIBE"
+
+    @classmethod
+    def parse(cls, value: "str | Operation") -> "Operation":
+        if isinstance(value, Operation):
+            return value
+        try:
+            return cls(value.upper())
+        except ValueError:
+            raise ValueError(f"unknown ACL operation {value!r}") from None
+
+
+#: The grants an owner receives when registering a topic (Section IV-B).
+OWNER_OPERATIONS: Tuple[Operation, ...] = (
+    Operation.READ,
+    Operation.WRITE,
+    Operation.DESCRIBE,
+)
+
+
+@dataclass(frozen=True)
+class AclEntry:
+    """One principal's permissions on one topic."""
+
+    principal: str
+    topic: str
+    operations: frozenset
+
+    def allows(self, operation: "str | Operation") -> bool:
+        return Operation.parse(operation) in self.operations
+
+
+class AclStore:
+    """Thread-safe ACL storage with grant/revoke and a fabric authorizer hook."""
+
+    def __init__(self, group_resolver=None) -> None:
+        """``group_resolver(principal) -> list[str]`` may map users to groups."""
+        self._entries: Dict[Tuple[str, str], Set[Operation]] = {}
+        self._lock = threading.RLock()
+        self._group_resolver = group_resolver
+
+    # ------------------------------------------------------------------ #
+    def grant(
+        self, principal: str, topic: str, operations: Iterable["str | Operation"]
+    ) -> AclEntry:
+        ops = {Operation.parse(op) for op in operations}
+        with self._lock:
+            current = self._entries.setdefault((principal, topic), set())
+            current.update(ops)
+            return AclEntry(principal, topic, frozenset(current))
+
+    def grant_owner(self, principal: str, topic: str) -> AclEntry:
+        """Grant the full owner set (READ, WRITE, DESCRIBE)."""
+        return self.grant(principal, topic, OWNER_OPERATIONS)
+
+    def revoke(
+        self,
+        principal: str,
+        topic: str,
+        operations: Optional[Iterable["str | Operation"]] = None,
+    ) -> Optional[AclEntry]:
+        with self._lock:
+            key = (principal, topic)
+            if key not in self._entries:
+                return None
+            if operations is None:
+                del self._entries[key]
+                return None
+            remaining = self._entries[key] - {Operation.parse(op) for op in operations}
+            if remaining:
+                self._entries[key] = remaining
+                return AclEntry(principal, topic, frozenset(remaining))
+            del self._entries[key]
+            return None
+
+    def revoke_topic(self, topic: str) -> int:
+        """Remove every entry for a topic (topic deletion); returns count."""
+        with self._lock:
+            keys = [k for k in self._entries if k[1] == topic]
+            for key in keys:
+                del self._entries[key]
+            return len(keys)
+
+    # ------------------------------------------------------------------ #
+    def is_authorized(
+        self, principal: Optional[str], operation: "str | Operation", topic: str
+    ) -> bool:
+        """Check a principal (or any group it belongs to) for an operation."""
+        if principal is None:
+            return False
+        op = Operation.parse(operation)
+        with self._lock:
+            if op in self._entries.get((principal, topic), set()):
+                return True
+        if self._group_resolver is not None:
+            for group in self._group_resolver(principal):
+                with self._lock:
+                    if op in self._entries.get((group, topic), set()):
+                        return True
+        return False
+
+    def operations(self, principal: str, topic: str) -> Set[Operation]:
+        with self._lock:
+            return set(self._entries.get((principal, topic), set()))
+
+    def topics_for(self, principal: str, operation: "str | Operation" = Operation.DESCRIBE) -> List[str]:
+        """Topics on which ``principal`` holds ``operation`` (``GET /topics``)."""
+        op = Operation.parse(operation)
+        with self._lock:
+            direct = {t for (p, t), ops in self._entries.items() if p == principal and op in ops}
+        if self._group_resolver is not None:
+            for group in self._group_resolver(principal):
+                with self._lock:
+                    direct |= {
+                        t for (p, t), ops in self._entries.items() if p == group and op in ops
+                    }
+        return sorted(direct)
+
+    def principals_for(self, topic: str) -> Dict[str, Set[Operation]]:
+        with self._lock:
+            return {
+                p: set(ops) for (p, t), ops in self._entries.items() if t == topic and ops
+            }
+
+    def as_authorizer(self):
+        """Adapter usable as :class:`repro.fabric.cluster.FabricCluster` authorizer."""
+        def authorize(principal: Optional[str], operation: str, topic: str) -> bool:
+            return self.is_authorized(principal, operation, topic)
+
+        return authorize

@@ -1,0 +1,107 @@
+"""Identities and identity providers.
+
+Globus Auth federates a large number of institutional identity providers;
+a user authenticates with their home institution and receives a Globus
+identity.  :class:`IdentityStore` models that federation: providers are
+registered by domain, and users are identified by ``username@domain``
+pairs mapped to stable identity ids.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class IdentityProvider:
+    """An institutional identity provider (e.g. a university or lab)."""
+
+    domain: str
+    display_name: str
+    provider_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A user identity issued by one provider."""
+
+    username: str
+    provider: IdentityProvider
+    identity_id: str = field(default_factory=lambda: str(uuid.uuid4()))
+
+    @property
+    def principal(self) -> str:
+        """Canonical ``user@domain`` form used across Octopus."""
+        return f"{self.username}@{self.provider.domain}"
+
+
+class IdentityStore:
+    """Registry of identity providers and the identities they have issued."""
+
+    def __init__(self) -> None:
+        self._providers: Dict[str, IdentityProvider] = {}
+        self._identities: Dict[str, Identity] = {}
+        self._groups: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    def register_provider(self, domain: str, display_name: Optional[str] = None) -> IdentityProvider:
+        if domain in self._providers:
+            return self._providers[domain]
+        provider = IdentityProvider(domain=domain, display_name=display_name or domain)
+        self._providers[domain] = provider
+        return provider
+
+    def providers(self) -> List[IdentityProvider]:
+        return list(self._providers.values())
+
+    def provider(self, domain: str) -> IdentityProvider:
+        try:
+            return self._providers[domain]
+        except KeyError:
+            raise KeyError(f"identity provider {domain!r} is not registered") from None
+
+    # ------------------------------------------------------------------ #
+    def create_identity(self, username: str, domain: str) -> Identity:
+        """Create (or return) the identity for ``username@domain``."""
+        provider = self.register_provider(domain)
+        principal = f"{username}@{domain}"
+        if principal in self._identities:
+            return self._identities[principal]
+        identity = Identity(username=username, provider=provider)
+        self._identities[principal] = identity
+        return identity
+
+    def lookup(self, principal: str) -> Optional[Identity]:
+        return self._identities.get(principal)
+
+    def identities(self) -> List[Identity]:
+        return list(self._identities.values())
+
+    # ------------------------------------------------------------------ #
+    # Groups (used to share topics with collaborations)
+    # ------------------------------------------------------------------ #
+    def create_group(self, name: str, members: Optional[List[str]] = None) -> List[str]:
+        self._groups.setdefault(name, [])
+        for member in members or []:
+            self.add_to_group(name, member)
+        return list(self._groups[name])
+
+    def add_to_group(self, name: str, principal: str) -> None:
+        if self.lookup(principal) is None:
+            raise KeyError(f"unknown principal {principal!r}")
+        members = self._groups.setdefault(name, [])
+        if principal not in members:
+            members.append(principal)
+
+    def remove_from_group(self, name: str, principal: str) -> None:
+        members = self._groups.get(name, [])
+        if principal in members:
+            members.remove(principal)
+
+    def group_members(self, name: str) -> List[str]:
+        return list(self._groups.get(name, []))
+
+    def groups_for(self, principal: str) -> List[str]:
+        return sorted(g for g, members in self._groups.items() if principal in members)

@@ -1,0 +1,24 @@
+"""Benchmarking operator: experiment configs, cost model and report formatting.
+
+The paper's "benchmarking operator" (Section V-B) orchestrates topic
+creation, spawns producers/consumers, gathers agent logs and aggregates
+them.  Here the operator drives the in-process fabric and the calibrated
+performance models; the ``benchmarks/`` directory contains one
+pytest-benchmark module per table/figure that uses these helpers.
+"""
+
+from repro.bench.configs import USE_CASES, CLUSTERS
+from repro.bench.costs import TriggerCostModel, scheduling_example_daily_cost
+from repro.bench.report import format_table3, format_figure_series
+from repro.bench.operator import BenchmarkOperator, FabricRunResult
+
+__all__ = [
+    "USE_CASES",
+    "CLUSTERS",
+    "TriggerCostModel",
+    "scheduling_example_daily_cost",
+    "format_table3",
+    "format_figure_series",
+    "BenchmarkOperator",
+    "FabricRunResult",
+]

@@ -1,0 +1,18 @@
+"""Benchmark configuration tables (Table I and Table II of the paper)."""
+
+from __future__ import annotations
+
+from repro.simulation.cluster_model import CLUSTER_CONFIGS
+from repro.simulation.workload import USE_CASE_PROFILES
+
+#: Table I — use-case event characteristics (re-exported for the benches).
+USE_CASES = USE_CASE_PROFILES
+
+#: Table II — testbed cluster configurations (re-exported for the benches).
+CLUSTERS = CLUSTER_CONFIGS
+
+#: Message sizes exercised throughout Section V (32 B, 1 KB, 4 KB).
+EVENT_SIZES_BYTES = (32, 1024, 4096)
+
+#: Producer counts swept per experiment (20–100, Section V-C).
+PRODUCER_COUNTS = (20, 40, 60, 80, 100)

@@ -1,0 +1,77 @@
+"""Formatting of benchmark results into paper-style tables and series."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.simulation.evaluation import Figure3Point, Figure5Point, Table3Row
+from repro.simulation.metrics import format_events_per_second
+
+
+def format_table3(rows: Sequence[Table3Row]) -> str:
+    """Render Table III rows the way the paper prints them."""
+    header = (
+        f"{'Exp':>3} {'Cluster':>9} {'RF':>2} {'Part':>4} {'Acks':>4} {'Size':>6} | "
+        f"{'ProdThru':>10} {'MedLat':>7} {'99%Lat':>7} {'ConsThru':>10} | "
+        f"{'ProdThru':>10} {'MedLat':>7} {'99%Lat':>7} {'ConsThru':>10}"
+    )
+    location_header = f"{'':>34} | {'Local Client':^38} | {'Remote Client':^38}"
+    lines = [location_header, header, "-" * len(header)]
+    for row in rows:
+        config = row.config
+        size = (
+            f"{config.event_size_bytes} B"
+            if config.event_size_bytes < 1024
+            else f"{config.event_size_bytes // 1024} KB"
+        )
+        lines.append(
+            f"{config.index:>3} {config.cluster:>9} {config.replication_factor:>2} "
+            f"{config.partitions:>4} {str(config.acks):>4} {size:>6} | "
+            f"{format_events_per_second(row.local.producer_throughput):>10} "
+            f"{row.local.median_latency_ms:>7.0f} {row.local.p99_latency_ms:>7.0f} "
+            f"{format_events_per_second(row.local.consumer_throughput):>10} | "
+            f"{format_events_per_second(row.remote.producer_throughput):>10} "
+            f"{row.remote.median_latency_ms:>7.0f} {row.remote.p99_latency_ms:>7.0f} "
+            f"{format_events_per_second(row.remote.consumer_throughput):>10}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure_series(
+    title: str, series: Dict[int, List[Figure3Point]]
+) -> str:
+    """Render Figure 3-style latency/throughput curves as text."""
+    lines = [title]
+    for experiment, points in sorted(series.items()):
+        lines.append(f"  Experiment #{experiment}:")
+        for point in points:
+            lines.append(
+                f"    producers={point.num_producers:>3}  "
+                f"throughput={format_events_per_second(point.throughput):>10}/s  "
+                f"median={point.median_latency_ms:6.1f} ms  "
+                f"p99={point.p99_latency_ms:6.1f} ms"
+            )
+    return "\n".join(lines)
+
+
+def format_figure5(points: Iterable[Figure5Point]) -> str:
+    """Render the Figure 5 multi-tenancy series as text."""
+    lines = ["Figure 5 — throughput vs. number of topics (scale-out cluster)"]
+    for point in points:
+        lines.append(
+            f"  topics={point.num_topics:>3}  "
+            f"producers={format_events_per_second(point.producer_throughput):>8}/s  "
+            f"consumers={format_events_per_second(point.consumer_throughput):>8}/s"
+        )
+    return "\n".join(lines)
+
+
+def format_scaling_series(title: str, samples, *, stride: int = 60) -> str:
+    """Render Figure 4/7-style (time, queue depth, concurrency) series."""
+    lines = [title, f"  {'t(s)':>6} {'queue':>8} {'concurrent':>10} {'done':>8}"]
+    for sample in samples[::stride]:
+        lines.append(
+            f"  {sample.time_seconds:>6.0f} {sample.queue_depth:>8d} "
+            f"{sample.concurrent_invocations:>10d} {sample.completed:>8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Small shared utilities (clocks, id generation) used across subsystems."""
+
+from repro.common.clock import Clock, ManualClock, SystemClock
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]

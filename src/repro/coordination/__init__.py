@@ -1,0 +1,18 @@
+"""ZooKeeper-like coordination substrate.
+
+MSK uses Apache ZooKeeper to maintain and synchronize cluster state —
+topics, access control lists and topic ownership (Section IV-C/IV-F of the
+paper).  This package provides a strongly consistent, versioned,
+hierarchical key-value store with watches, plus the Octopus-specific
+metadata registry layered on top of it.
+"""
+
+from repro.coordination.zookeeper import ZooKeeperEnsemble, ZNode, ZNodeStat
+from repro.coordination.metadata import ClusterMetadataRegistry
+
+__all__ = [
+    "ZooKeeperEnsemble",
+    "ZNode",
+    "ZNodeStat",
+    "ClusterMetadataRegistry",
+]

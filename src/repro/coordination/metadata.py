@@ -1,0 +1,169 @@
+"""Octopus cluster metadata registry, layered on the coordination store.
+
+The paper states (Section IV-F) that "the source of truth about which
+topics are owned by which identities are stored in ZooKeeper and
+replicated to IAM".  :class:`ClusterMetadataRegistry` is that source of
+truth: it records topic ownership, per-topic ACL entries and the mapping
+from Globus identities to IAM principals, all as znodes so that updates
+are versioned and watchable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coordination.zookeeper import NoNodeError, ZooKeeperEnsemble
+
+#: znode layout
+TOPICS_ROOT = "/octopus/topics"
+IDENTITIES_ROOT = "/octopus/identities"
+TRIGGERS_ROOT = "/octopus/triggers"
+
+
+class ClusterMetadataRegistry:
+    """Topic ownership, ACLs and identity mappings on top of ZooKeeper."""
+
+    def __init__(self, ensemble: Optional[ZooKeeperEnsemble] = None) -> None:
+        self.ensemble = ensemble or ZooKeeperEnsemble()
+        for root in (TOPICS_ROOT, IDENTITIES_ROOT, TRIGGERS_ROOT):
+            self.ensemble.ensure_path(root)
+
+    # ------------------------------------------------------------------ #
+    # Topic ownership and ACLs
+    # ------------------------------------------------------------------ #
+    def register_topic(self, topic: str, owner: str, config: Optional[dict] = None) -> None:
+        """Record a newly provisioned topic and its owning identity.
+
+        Idempotent: re-registering an existing topic with the same owner is
+        a no-op (OWS API operations are required to be idempotent so that
+        automatic retries cannot corrupt state).
+        """
+        path = f"{TOPICS_ROOT}/{topic}"
+        if self.ensemble.exists(path):
+            existing = self.ensemble.get(path)
+            if existing.get("owner") != owner:
+                raise PermissionError(
+                    f"topic {topic!r} is already owned by {existing.get('owner')!r}"
+                )
+            return
+        self.ensemble.create(
+            path,
+            {
+                "owner": owner,
+                "config": dict(config or {}),
+                "acl": {owner: ["DESCRIBE", "READ", "WRITE"]},
+            },
+        )
+
+    def topic_exists(self, topic: str) -> bool:
+        return self.ensemble.exists(f"{TOPICS_ROOT}/{topic}")
+
+    def topic_owner(self, topic: str) -> str:
+        return self._topic_data(topic)["owner"]
+
+    def topic_config(self, topic: str) -> dict:
+        return dict(self._topic_data(topic).get("config", {}))
+
+    def set_topic_config(self, topic: str, config: dict) -> None:
+        data = self._topic_data(topic)
+        data["config"] = dict(config)
+        self.ensemble.set(f"{TOPICS_ROOT}/{topic}", data)
+
+    def unregister_topic(self, topic: str) -> None:
+        path = f"{TOPICS_ROOT}/{topic}"
+        if self.ensemble.exists(path):
+            self.ensemble.delete(path, recursive=True)
+
+    def list_topics(self) -> List[str]:
+        return self.ensemble.children(TOPICS_ROOT)
+
+    def topics_for_principal(self, principal: str) -> List[str]:
+        """Topics the principal may DESCRIBE (used by ``GET /topics``)."""
+        out = []
+        for topic in self.list_topics():
+            acl = self._topic_data(topic).get("acl", {})
+            if "DESCRIBE" in acl.get(principal, []):
+                out.append(topic)
+        return out
+
+    # -- ACL management ------------------------------------------------- #
+    def grant(self, topic: str, principal: str, operations: List[str]) -> Dict[str, List[str]]:
+        """Grant ``operations`` on ``topic`` to ``principal``; returns the ACL."""
+        data = self._topic_data(topic)
+        acl = data.setdefault("acl", {})
+        current = set(acl.get(principal, []))
+        current.update(op.upper() for op in operations)
+        acl[principal] = sorted(current)
+        self.ensemble.set(f"{TOPICS_ROOT}/{topic}", data)
+        return dict(acl)
+
+    def revoke(self, topic: str, principal: str,
+               operations: Optional[List[str]] = None) -> Dict[str, List[str]]:
+        """Revoke operations (default: all) on ``topic`` from ``principal``."""
+        data = self._topic_data(topic)
+        acl = data.setdefault("acl", {})
+        if principal in acl:
+            if operations is None:
+                del acl[principal]
+            else:
+                remaining = set(acl[principal]) - {op.upper() for op in operations}
+                if remaining:
+                    acl[principal] = sorted(remaining)
+                else:
+                    del acl[principal]
+        self.ensemble.set(f"{TOPICS_ROOT}/{topic}", data)
+        return dict(acl)
+
+    def acl(self, topic: str) -> Dict[str, List[str]]:
+        return dict(self._topic_data(topic).get("acl", {}))
+
+    def is_authorized(self, principal: Optional[str], operation: str, topic: str) -> bool:
+        """ACL check used by the fabric front end and the OWS routes."""
+        if principal is None:
+            return False
+        try:
+            acl = self._topic_data(topic).get("acl", {})
+        except NoNodeError:
+            return False
+        return operation.upper() in acl.get(principal, [])
+
+    # ------------------------------------------------------------------ #
+    # Identity mapping (Globus identity -> IAM principal)
+    # ------------------------------------------------------------------ #
+    def map_identity(self, globus_identity: str, iam_principal: str) -> None:
+        path = f"{IDENTITIES_ROOT}/{globus_identity}"
+        if self.ensemble.exists(path):
+            self.ensemble.set(path, {"iam_principal": iam_principal})
+        else:
+            self.ensemble.create(path, {"iam_principal": iam_principal})
+
+    def iam_principal_for(self, globus_identity: str) -> Optional[str]:
+        path = f"{IDENTITIES_ROOT}/{globus_identity}"
+        if not self.ensemble.exists(path):
+            return None
+        return self.ensemble.get(path)["iam_principal"]
+
+    # ------------------------------------------------------------------ #
+    # Trigger registry
+    # ------------------------------------------------------------------ #
+    def register_trigger(self, trigger_id: str, spec: dict) -> None:
+        path = f"{TRIGGERS_ROOT}/{trigger_id}"
+        if self.ensemble.exists(path):
+            self.ensemble.set(path, dict(spec))
+        else:
+            self.ensemble.create(path, dict(spec))
+
+    def trigger_spec(self, trigger_id: str) -> dict:
+        return dict(self.ensemble.get(f"{TRIGGERS_ROOT}/{trigger_id}"))
+
+    def list_triggers(self) -> List[str]:
+        return self.ensemble.children(TRIGGERS_ROOT)
+
+    def unregister_trigger(self, trigger_id: str) -> None:
+        path = f"{TRIGGERS_ROOT}/{trigger_id}"
+        if self.ensemble.exists(path):
+            self.ensemble.delete(path)
+
+    # ------------------------------------------------------------------ #
+    def _topic_data(self, topic: str) -> dict:
+        return self.ensemble.get(f"{TOPICS_ROOT}/{topic}")

@@ -1,0 +1,39 @@
+"""Octopus proper: the web service, trigger manager, credential broker and SDK.
+
+This package is the paper's primary contribution (Section IV): a
+multi-user, cloud-hosted control plane in front of the event fabric.
+
+* :class:`~repro.core.octopus.OctopusDeployment` wires every substrate
+  together (fabric cluster, ZooKeeper metadata, Globus-Auth-like OAuth,
+  IAM, ACLs, the FaaS trigger substrate and the web service).
+* :class:`~repro.core.service.OctopusWebService` exposes the REST routes
+  of Section IV-B/IV-D.
+* :class:`~repro.core.sdk.OctopusClient` is the Python SDK of
+  Section IV-E: login manager, token cache, topic/trigger management and
+  produce/consume helpers.
+"""
+
+from repro.core.errors import (
+    OctopusError,
+    NotAuthorizedError,
+    NotFoundError,
+    ValidationError,
+)
+from repro.core.octopus import OctopusDeployment
+from repro.core.service import OctopusWebService
+from repro.core.triggers import TriggerManager, TriggerSpec
+from repro.core.sdk import OctopusClient
+from repro.core.tokenstore import TokenStore
+
+__all__ = [
+    "OctopusError",
+    "NotAuthorizedError",
+    "NotFoundError",
+    "ValidationError",
+    "OctopusDeployment",
+    "OctopusWebService",
+    "TriggerManager",
+    "TriggerSpec",
+    "OctopusClient",
+    "TokenStore",
+]

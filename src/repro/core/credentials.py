@@ -1,0 +1,99 @@
+"""Credential brokering: Globus identities → IAM identities → access keys.
+
+MSK only accepts IAM (or SCRAM) credentials, while Octopus users
+authenticate with Globus Auth.  The ``GET /create_key`` route therefore
+creates an IAM identity for the requesting user, registers it with the
+MSK ZooKeeper (our metadata registry), and returns an access key and
+secret the SDK can use with Kafka clients (Section IV-C of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.auth.iam import AccessKey, IamService, PolicyStatement
+from repro.coordination.metadata import ClusterMetadataRegistry
+
+
+@dataclass(frozen=True)
+class IssuedCredentials:
+    """What ``GET /create_key`` returns to the SDK."""
+
+    principal: str
+    iam_principal: str
+    access_key_id: str
+    secret_access_key: str
+    endpoint: str
+
+    def to_dict(self) -> dict:
+        return {
+            "username": self.iam_principal,
+            "access_key": self.access_key_id,
+            "secret_key": self.secret_access_key,
+            "endpoint": self.endpoint,
+        }
+
+
+class CredentialBroker:
+    """Creates and tracks per-user IAM identities and access keys."""
+
+    def __init__(
+        self,
+        iam: IamService,
+        metadata: ClusterMetadataRegistry,
+        *,
+        endpoint: str = "octopus-fabric.local:9092",
+    ) -> None:
+        self.iam = iam
+        self.metadata = metadata
+        self.endpoint = endpoint
+
+    def iam_principal_for(self, globus_principal: str) -> str:
+        """Deterministic IAM username for a Globus identity."""
+        return "octopus-" + globus_principal.replace("@", ".")
+
+    def create_key(self, globus_principal: str) -> IssuedCredentials:
+        """Create (or reuse) the IAM identity and mint a fresh access key.
+
+        The identity is mapped in the metadata registry so the fabric can
+        resolve produced/consumed requests back to the Globus identity, and
+        a baseline IAM policy allowing cluster connectivity is attached.
+        """
+        iam_principal = self.iam_principal_for(globus_principal)
+        first_time = not self.iam.has_identity(iam_principal)
+        self.iam.create_identity(iam_principal, tags={"globus_identity": globus_principal})
+        if first_time:
+            self.iam.attach_policy(
+                iam_principal,
+                PolicyStatement.allow(
+                    ["kafka-cluster:Connect", "kafka-cluster:DescribeCluster"],
+                    ["cluster/*"],
+                ),
+            )
+        key = self.iam.create_access_key(iam_principal)
+        self.metadata.map_identity(globus_principal, iam_principal)
+        return IssuedCredentials(
+            principal=globus_principal,
+            iam_principal=iam_principal,
+            access_key_id=key.access_key_id,
+            secret_access_key=key.secret_access_key,
+            endpoint=self.endpoint,
+        )
+
+    def authenticate_key(self, access_key_id: str, secret: str) -> Optional[str]:
+        """Resolve an access key back to the owning Globus identity."""
+        iam_principal = self.iam.authenticate(access_key_id, secret)
+        tags = self.iam.identity(iam_principal).tags
+        return tags.get("globus_identity")
+
+    def revoke_keys(self, globus_principal: str) -> int:
+        """Deactivate every key of a user; returns how many were disabled."""
+        iam_principal = self.iam_principal_for(globus_principal)
+        if not self.iam.has_identity(iam_principal):
+            return 0
+        keys = self.iam.keys_for(iam_principal)
+        for key in keys:
+            if key.active:
+                self.iam.deactivate_key(key.access_key_id)
+        return sum(1 for k in keys if not k.active)

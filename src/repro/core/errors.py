@@ -1,0 +1,34 @@
+"""Error types surfaced by the Octopus control plane and SDK."""
+
+from __future__ import annotations
+
+
+class OctopusError(Exception):
+    """Base class for Octopus control-plane errors."""
+
+    #: HTTP status the web service maps this error to.
+    status_code: int = 500
+
+
+class ValidationError(OctopusError):
+    """The request payload or parameters are invalid."""
+
+    status_code = 400
+
+
+class NotAuthorizedError(OctopusError):
+    """The caller's token is missing, invalid or lacks permission."""
+
+    status_code = 403
+
+
+class NotFoundError(OctopusError):
+    """The referenced topic, trigger or key does not exist."""
+
+    status_code = 404
+
+
+class ConflictError(OctopusError):
+    """The resource exists already and cannot be re-created."""
+
+    status_code = 409

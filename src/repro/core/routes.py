@@ -1,0 +1,77 @@
+"""A minimal REST-style router.
+
+The Octopus Web Service is a RESTful service on AWS Lightsail; here routes
+are dispatched in-process.  Path templates use ``<name>`` placeholders
+(e.g. ``/topic/<topic>/user``) and handlers receive the extracted path
+parameters plus the request body.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import NotFoundError
+
+#: Handler signature: (path_params, body, principal) -> response dict.
+RouteHandler = Callable[[Dict[str, str], dict, str], Any]
+
+
+@dataclass(frozen=True)
+class Route:
+    """One registered route."""
+
+    method: str
+    template: str
+    handler: RouteHandler
+    pattern: re.Pattern
+
+    def match(self, path: str) -> Optional[Dict[str, str]]:
+        matched = self.pattern.fullmatch(path)
+        if matched is None:
+            return None
+        return dict(matched.groupdict())
+
+
+def _compile_template(template: str) -> re.Pattern:
+    parts = []
+    for segment in template.strip("/").split("/"):
+        if segment.startswith("<") and segment.endswith(">"):
+            name = segment[1:-1]
+            parts.append(f"(?P<{name}>[^/]+)")
+        else:
+            parts.append(re.escape(segment))
+    return re.compile("/" + "/".join(parts) + "/?")
+
+
+class Router:
+    """Registers routes and dispatches (method, path) pairs to handlers."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, template: str, handler: RouteHandler) -> Route:
+        route = Route(
+            method=method.upper(),
+            template=template,
+            handler=handler,
+            pattern=_compile_template(template),
+        )
+        self._routes.append(route)
+        return route
+
+    def resolve(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        if not path.startswith("/"):
+            path = "/" + path
+        for route in self._routes:
+            if route.method != method.upper():
+                continue
+            params = route.match(path)
+            if params is not None:
+                return route, params
+        raise NotFoundError(f"no route for {method.upper()} {path}")
+
+    def routes(self) -> List[str]:
+        """Human-readable list of registered routes."""
+        return sorted(f"{r.method} {r.template}" for r in self._routes)

@@ -1,0 +1,181 @@
+"""The Octopus Web Service (OWS).
+
+OWS is the control plane users talk to (Section IV-B): a RESTful service
+that provisions and shares topics, mints MSK credentials and manages
+triggers.  Every request carries a Globus Auth bearer token; OWS validates
+it, resolves the principal, performs the operation and answers with JSON.
+All operations are idempotent so that client retries cannot corrupt state
+(Section IV-F).
+
+The HTTP layer is modelled by :meth:`OctopusWebService.handle`, which
+dispatches ``(method, path, token, body)`` exactly like the deployed
+service's routes; typed convenience methods are layered on top for the
+SDK.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.auth.acl import AclStore, Operation
+from repro.auth.iam import IamService
+from repro.auth.oauth import AuthError, AuthorizationServer
+from repro.coordination.metadata import ClusterMetadataRegistry
+from repro.core.credentials import CredentialBroker, IssuedCredentials
+from repro.core.errors import NotAuthorizedError, OctopusError, ValidationError
+from repro.core.routes import Router
+from repro.core.topics import TopicService
+from repro.core.triggers import TriggerManager, TriggerSpec
+from repro.fabric.cluster import FabricCluster
+
+#: The OAuth scope the OWS requires on every request.
+OWS_SCOPE = "octopus:all"
+
+
+class OctopusWebService:
+    """REST-style control plane over the fabric, IAM, metadata and triggers."""
+
+    def __init__(
+        self,
+        cluster: FabricCluster,
+        auth: AuthorizationServer,
+        iam: IamService,
+        metadata: ClusterMetadataRegistry,
+        acls: AclStore,
+        triggers: TriggerManager,
+        *,
+        endpoint: str = "octopus-fabric.local:9092",
+    ) -> None:
+        self.cluster = cluster
+        self.auth = auth
+        self.iam = iam
+        self.metadata = metadata
+        self.acls = acls
+        self.topics = TopicService(cluster, metadata, acls)
+        self.credentials = CredentialBroker(iam, metadata, endpoint=endpoint)
+        self.triggers = triggers
+        self.auth.register_resource_server("octopus", ["all"])
+        self._router = Router()
+        self._register_routes()
+
+    # ------------------------------------------------------------------ #
+    # HTTP-style entry point
+    # ------------------------------------------------------------------ #
+    def handle(
+        self, method: str, path: str, *, token: Optional[str] = None,
+        body: Optional[dict] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Dispatch a request; returns ``(status_code, json_body)``."""
+        try:
+            principal = self._authenticate(token)
+            route, params = self._router.resolve(method, path)
+            response = route.handler(params, body or {}, principal)
+            return 200, response if isinstance(response, dict) else {"result": response}
+        except OctopusError as exc:
+            return exc.status_code, {"error": type(exc).__name__, "detail": str(exc)}
+        except AuthError as exc:
+            return 401, {"error": "AuthenticationFailed", "detail": str(exc)}
+
+    def routes(self) -> list[str]:
+        return self._router.routes()
+
+    def _authenticate(self, token: Optional[str]) -> str:
+        if token is None:
+            raise NotAuthorizedError("missing bearer token")
+        validated = self.auth.validate(token, required_scope=OWS_SCOPE)
+        return validated.principal
+
+    # ------------------------------------------------------------------ #
+    # Route table (Section IV-B and IV-D of the paper)
+    # ------------------------------------------------------------------ #
+    def _register_routes(self) -> None:
+        add = self._router.add
+        add("PUT", "/topic/<topic>", self._route_register_topic)
+        add("GET", "/topics", self._route_list_topics)
+        add("GET", "/topic/<topic>", self._route_get_topic)
+        add("POST", "/topic/<topic>", self._route_configure_topic)
+        add("POST", "/topic/<topic>/partitions", self._route_set_partitions)
+        add("POST", "/topic/<topic>/user", self._route_topic_user)
+        add("DELETE", "/topic/<topic>", self._route_release_topic)
+        add("GET", "/create_key", self._route_create_key)
+        add("PUT", "/trigger", self._route_create_trigger)
+        add("GET", "/triggers", self._route_list_triggers)
+        add("POST", "/trigger/<trigger_id>", self._route_update_trigger)
+        add("DELETE", "/trigger/<trigger_id>", self._route_delete_trigger)
+
+    # -- topic routes ---------------------------------------------------- #
+    def _route_register_topic(self, params, body, principal):
+        return self.topics.register_topic(principal, params["topic"], body.get("config"))
+
+    def _route_list_topics(self, params, body, principal):
+        return {"topics": self.topics.list_topics(principal)}
+
+    def _route_get_topic(self, params, body, principal):
+        return self.topics.describe_topic(principal, params["topic"])
+
+    def _route_configure_topic(self, params, body, principal):
+        return self.topics.configure_topic(principal, params["topic"], body)
+
+    def _route_set_partitions(self, params, body, principal):
+        if "num_partitions" not in body:
+            raise ValidationError("body must include 'num_partitions'")
+        return self.topics.set_partitions(principal, params["topic"], body["num_partitions"])
+
+    def _route_topic_user(self, params, body, principal):
+        action = body.get("action", "grant")
+        user = body.get("user")
+        if not user:
+            raise ValidationError("body must include 'user'")
+        operations = body.get("operations")
+        if action == "grant":
+            acl = self.topics.grant_user(principal, params["topic"], user, operations)
+        elif action == "revoke":
+            acl = self.topics.revoke_user(principal, params["topic"], user, operations)
+        else:
+            raise ValidationError("action must be 'grant' or 'revoke'")
+        return {"topic": params["topic"], "acl": acl}
+
+    def _route_release_topic(self, params, body, principal):
+        return self.topics.release_topic(principal, params["topic"])
+
+    # -- credential routes ------------------------------------------------ #
+    def _route_create_key(self, params, body, principal):
+        return self.create_key(principal).to_dict()
+
+    # -- trigger routes ---------------------------------------------------- #
+    def _route_create_trigger(self, params, body, principal):
+        spec = TriggerSpec(
+            topic=body.get("topic", ""),
+            function_name=body.get("function", ""),
+            filter_pattern=body.get("filter_pattern"),
+            batch_size=int(body.get("batch_size", 100)),
+            batch_window_seconds=float(body.get("batch_window_seconds", 0.0)),
+            enabled=bool(body.get("enabled", True)),
+        )
+        return self.triggers.create_trigger(principal, spec).describe()
+
+    def _route_list_triggers(self, params, body, principal):
+        return {"triggers": self.triggers.list_triggers(principal)}
+
+    def _route_update_trigger(self, params, body, principal):
+        return self.triggers.update_trigger(principal, params["trigger_id"], body)
+
+    def _route_delete_trigger(self, params, body, principal):
+        return self.triggers.delete_trigger(principal, params["trigger_id"])
+
+    # ------------------------------------------------------------------ #
+    # Typed API used by the SDK
+    # ------------------------------------------------------------------ #
+    def create_key(self, principal: str) -> IssuedCredentials:
+        """Create MSK credentials for a user (``GET /create_key``)."""
+        return self.credentials.create_key(principal)
+
+    def authorize_data_access(
+        self, principal: Optional[str], operation: str, topic: str
+    ) -> bool:
+        """Authorizer installed on the fabric cluster (per-topic ACLs)."""
+        if principal is None:
+            return False
+        if self.metadata.topic_exists(topic) and self.metadata.topic_owner(topic) == principal:
+            return True
+        return self.acls.is_authorized(principal, Operation.parse(operation), topic)

@@ -1,0 +1,48 @@
+"""Serverless trigger substrate (AWS Lambda / EventBridge / CloudWatch stand-in).
+
+Octopus Triggers (Section IV-D of the paper) are managed functions that
+consume events from a topic through an event-source mapping, optionally
+filter them with EventBridge JSON patterns, and invoke arbitrary actions.
+This package provides every piece of that machinery:
+
+* :mod:`repro.faas.patterns` — the EventBridge pattern language.
+* :mod:`repro.faas.function` — function definitions and the registry.
+* :mod:`repro.faas.executor` — the invocation engine with concurrency
+  accounting, retries and error capture.
+* :mod:`repro.faas.eventsource` — event-source mappings that poll a topic
+  with a dedicated consumer group and invoke a function per batch.
+* :mod:`repro.faas.scaling` — the processing-pressure autoscaler and the
+  trigger-scaling simulator used to reproduce Figures 4 and 7.
+* :mod:`repro.faas.logs` — CloudWatch-like log groups and metrics.
+"""
+
+from repro.faas.patterns import EventPattern, PatternError, matches_pattern
+from repro.faas.function import FunctionDefinition, FunctionRegistry
+from repro.faas.executor import InvocationResult, LambdaExecutor
+from repro.faas.eventsource import EventSourceMapping, EventSourceConfig
+from repro.faas.scaling import (
+    ProcessingPressureScaler,
+    ScalingPolicy,
+    TriggerScalingSimulator,
+    ScalingSample,
+)
+from repro.faas.logs import LogEvent, LogGroup, LogService
+
+__all__ = [
+    "EventPattern",
+    "PatternError",
+    "matches_pattern",
+    "FunctionDefinition",
+    "FunctionRegistry",
+    "InvocationResult",
+    "LambdaExecutor",
+    "EventSourceMapping",
+    "EventSourceConfig",
+    "ProcessingPressureScaler",
+    "ScalingPolicy",
+    "TriggerScalingSimulator",
+    "ScalingSample",
+    "LogEvent",
+    "LogGroup",
+    "LogService",
+]

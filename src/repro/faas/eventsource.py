@@ -1,0 +1,194 @@
+"""Event-source mappings: topic → filter → function.
+
+Each Octopus trigger is implemented as an AWS Lambda fed by an MSK
+event-source mapping: the mapping owns a dedicated consumer group on the
+target topic (so many trigger instances can drain events without
+disturbing other consumers), accumulates events into batches of up to
+10,000 records or 6 MB, optionally filters them with an EventBridge
+pattern, and invokes the function once per batch (Section IV-D).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.consumer import ConsumerConfig, FabricConsumer
+from repro.fabric.record import StoredRecord
+from repro.faas.executor import InvocationResult, LambdaExecutor
+from repro.faas.patterns import EventPattern
+
+#: Hard limits from the paper / AWS: batches of up to 10,000 events or 6 MB.
+MAX_BATCH_SIZE = 10_000
+MAX_BATCH_BYTES = 6 * 1024 * 1024
+
+_mapping_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class EventSourceConfig:
+    """User-tunable event-source settings (batch size, window, filter)."""
+
+    batch_size: int = 100
+    batch_window_seconds: float = 0.0
+    filter_pattern: Optional[dict] = None
+    starting_position: str = "earliest"
+
+    def validate(self) -> None:
+        if not 1 <= self.batch_size <= MAX_BATCH_SIZE:
+            raise ValueError(f"batch_size must be in [1, {MAX_BATCH_SIZE}]")
+        if self.batch_window_seconds < 0:
+            raise ValueError("batch_window_seconds must be >= 0")
+        if self.starting_position not in ("earliest", "latest"):
+            raise ValueError("starting_position must be 'earliest' or 'latest'")
+
+
+@dataclass
+class MappingStats:
+    """Counters for one event-source mapping."""
+
+    polls: int = 0
+    records_read: int = 0
+    records_matched: int = 0
+    records_filtered_out: int = 0
+    invocations: int = 0
+    failed_invocations: int = 0
+
+
+class EventSourceMapping:
+    """Polls a topic with a dedicated consumer group and invokes a function."""
+
+    def __init__(
+        self,
+        cluster: FabricCluster,
+        topic: str,
+        function_name: str,
+        executor: LambdaExecutor,
+        config: Optional[EventSourceConfig] = None,
+        *,
+        principal: Optional[str] = None,
+        mapping_id: Optional[str] = None,
+    ) -> None:
+        self.config = config or EventSourceConfig()
+        self.config.validate()
+        self.cluster = cluster
+        self.topic = topic
+        self.function_name = function_name
+        self.executor = executor
+        self.mapping_id = mapping_id or f"esm-{next(_mapping_ids):06d}"
+        self.principal = principal
+        self.pattern = EventPattern(self.config.filter_pattern)
+        self.stats = MappingStats()
+        self._consumer = FabricConsumer(
+            cluster,
+            [topic],
+            ConsumerConfig(
+                group_id=f"trigger-{self.mapping_id}",
+                client_id=f"lambda-{function_name}",
+                auto_offset_reset=self.config.starting_position,
+                enable_auto_commit=False,
+                max_poll_records=self.config.batch_size,
+            ),
+            principal=principal,
+        )
+        self._enabled = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def consumer_group(self) -> str:
+        return f"trigger-{self.mapping_id}"
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def pending_events(self) -> int:
+        """Processing pressure: events published but not yet committed."""
+        return self.cluster.total_lag(self.consumer_group, self.topic)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _record_to_event(record: StoredRecord, topic: str, partition: int) -> dict:
+        """Shape one fabric record the way Lambda presents Kafka records."""
+        return {
+            "topic": topic,
+            "partition": partition,
+            "offset": record.offset,
+            "timestamp": record.timestamp,
+            "key": record.key,
+            "value": record.value,
+            "headers": dict(record.record.headers),
+        }
+
+    def poll_once(self) -> List[InvocationResult]:
+        """One poll/filter/invoke cycle; returns the invocation results.
+
+        Offsets are committed only after the function has been invoked for
+        the batch, giving triggers the same at-least-once guarantee as
+        ordinary consumers.
+        """
+        if not self._enabled:
+            return []
+        batches = self._consumer.poll(max_records=self.config.batch_size)
+        self.stats.polls += 1
+        results: List[InvocationResult] = []
+        matched_events: List[dict] = []
+        for (topic, partition), records in batches.items():
+            for record in records:
+                self.stats.records_read += 1
+                event = self._record_to_event(record, topic, partition)
+                if self.pattern.matches(event):
+                    self.stats.records_matched += 1
+                    matched_events.append(event)
+                else:
+                    self.stats.records_filtered_out += 1
+        if matched_events:
+            payload = {
+                "eventSource": "octopus:fabric",
+                "topic": self.topic,
+                "records": matched_events,
+            }
+            result = self.executor.invoke(self.function_name, payload)
+            self.stats.invocations += 1
+            if not result.success:
+                self.stats.failed_invocations += 1
+            results.append(result)
+        if batches:
+            self._consumer.commit()
+        return results
+
+    def drain(self, max_polls: int = 10_000) -> List[InvocationResult]:
+        """Poll until the topic is exhausted (or ``max_polls`` is reached)."""
+        results: List[InvocationResult] = []
+        for _ in range(max_polls):
+            if self.pending_events() == 0:
+                break
+            batch_results = self.poll_once()
+            results.extend(batch_results)
+            if not batch_results and self.pending_events() == 0:
+                break
+        return results
+
+    def close(self) -> None:
+        self._consumer.close()
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "mapping_id": self.mapping_id,
+            "topic": self.topic,
+            "function": self.function_name,
+            "consumer_group": self.consumer_group,
+            "batch_size": self.config.batch_size,
+            "batch_window_seconds": self.config.batch_window_seconds,
+            "filter_pattern": self.config.filter_pattern,
+            "enabled": self._enabled,
+            "stats": vars(self.stats),
+        }

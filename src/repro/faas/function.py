@@ -1,0 +1,90 @@
+"""Function definitions and the function registry.
+
+A trigger's action is a function: the user supplies the handler code and
+an execution environment (memory size, timeout, environment variables),
+and Octopus deploys it as a managed Lambda (Section IV-D).  Handlers
+follow the Lambda signature ``handler(event, context)`` where ``event``
+carries the batch of fabric records and ``context`` describes the
+invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+Handler = Callable[[dict, "InvocationContext"], Any]
+
+
+@dataclass(frozen=True)
+class InvocationContext:
+    """Runtime information passed to every handler invocation."""
+
+    function_name: str
+    invocation_id: str
+    invoked_at: float
+    memory_mb: int
+    timeout_seconds: float
+    attempt: int = 1
+
+
+@dataclass
+class FunctionDefinition:
+    """A deployable function and its execution environment.
+
+    ``simulated_duration_seconds`` lets benchmark workloads declare how
+    long an invocation takes (e.g. the 30 s sleep tasks in the paper's
+    trigger-scaling experiment) without actually sleeping.
+    """
+
+    name: str
+    handler: Handler
+    memory_mb: int = 128
+    timeout_seconds: float = 300.0
+    environment: Dict[str, str] = field(default_factory=dict)
+    description: str = ""
+    simulated_duration_seconds: Optional[float] = None
+
+    def validate(self) -> None:
+        if not callable(self.handler):
+            raise TypeError("handler must be callable")
+        if self.memory_mb < 128 or self.memory_mb > 10_240:
+            raise ValueError("memory_mb must be between 128 and 10240")
+        if self.timeout_seconds <= 0 or self.timeout_seconds > 900:
+            raise ValueError("timeout_seconds must be in (0, 900]")
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "memory_mb": self.memory_mb,
+            "timeout_seconds": self.timeout_seconds,
+            "environment": dict(self.environment),
+            "description": self.description,
+        }
+
+
+class FunctionRegistry:
+    """Registry of deployed functions."""
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, FunctionDefinition] = {}
+
+    def register(self, definition: FunctionDefinition) -> FunctionDefinition:
+        definition.validate()
+        self._functions[definition.name] = definition
+        return definition
+
+    def get(self, name: str) -> FunctionDefinition:
+        try:
+            return self._functions[name]
+        except KeyError:
+            raise KeyError(f"function {name!r} is not registered") from None
+
+    def unregister(self, name: str) -> None:
+        self._functions.pop(name, None)
+
+    def list(self) -> List[str]:
+        return sorted(self._functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions

@@ -1,0 +1,107 @@
+"""CloudWatch-like log groups and metrics.
+
+When OWS registers a trigger it also creates "the appropriate IAM policy,
+IAM role, and CloudWatch log group to manage and monitor the Lambda
+function" (Section IV-D).  The log service here provides per-function log
+groups (invocation start/end/error lines) and simple metric aggregation
+(invocations, errors, duration percentiles) that the admin consoles in
+Figure 2 would display.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One log line in a log group."""
+
+    timestamp: float
+    message: str
+    level: str = "INFO"
+    fields: dict = field(default_factory=dict)
+
+
+@dataclass
+class LogGroup:
+    """An append-only group of log events for one function/component."""
+
+    name: str
+    events: List[LogEvent] = field(default_factory=list)
+    retention_days: int = 7
+
+    def put(self, message: str, *, level: str = "INFO",
+            timestamp: Optional[float] = None, **fields) -> LogEvent:
+        event = LogEvent(
+            timestamp=timestamp if timestamp is not None else time.time(),
+            message=message,
+            level=level,
+            fields=dict(fields),
+        )
+        self.events.append(event)
+        return event
+
+    def filter(self, *, level: Optional[str] = None, contains: Optional[str] = None) -> List[LogEvent]:
+        out = self.events
+        if level is not None:
+            out = [e for e in out if e.level == level]
+        if contains is not None:
+            out = [e for e in out if contains in e.message]
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class LogService:
+    """Holds log groups and per-function invocation metrics."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[str, LogGroup] = {}
+        self._durations: Dict[str, List[float]] = {}
+        self._errors: Dict[str, int] = {}
+        self._invocations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    def group(self, name: str) -> LogGroup:
+        if name not in self._groups:
+            self._groups[name] = LogGroup(name=name)
+        return self._groups[name]
+
+    def groups(self) -> List[str]:
+        return sorted(self._groups)
+
+    # ------------------------------------------------------------------ #
+    def record_invocation(
+        self, function_name: str, duration_seconds: float, *, error: bool = False
+    ) -> None:
+        self._invocations[function_name] = self._invocations.get(function_name, 0) + 1
+        self._durations.setdefault(function_name, []).append(duration_seconds)
+        if error:
+            self._errors[function_name] = self._errors.get(function_name, 0) + 1
+
+    def metrics(self, function_name: str) -> dict:
+        """Aggregate invocation metrics for one function."""
+        durations = np.asarray(self._durations.get(function_name, ()), dtype=float)
+        invocations = self._invocations.get(function_name, 0)
+        errors = self._errors.get(function_name, 0)
+        if durations.size == 0:
+            return {
+                "invocations": invocations,
+                "errors": errors,
+                "duration_mean_s": 0.0,
+                "duration_p50_s": 0.0,
+                "duration_p99_s": 0.0,
+            }
+        return {
+            "invocations": invocations,
+            "errors": errors,
+            "duration_mean_s": float(durations.mean()),
+            "duration_p50_s": float(np.percentile(durations, 50)),
+            "duration_p99_s": float(np.percentile(durations, 99)),
+        }

@@ -1,0 +1,166 @@
+"""EventBridge-compatible event pattern matching.
+
+Octopus triggers accept an optional filter expressed in the Amazon
+EventBridge pattern language (Listing 1 of the paper shows the pattern
+``{"value": {"event_type": ["created"]}}`` used by the data-automation
+application).  A pattern is a JSON object mirroring the event's structure;
+leaf values are lists of alternatives, where each alternative is either a
+literal or a *content filter* such as ``{"prefix": ...}``,
+``{"numeric": [">", 0, "<=", 100]}``, ``{"exists": true}`` or
+``{"anything-but": [...]}``.  An event matches when every key in the
+pattern matches; keys absent from the pattern are unconstrained.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Mapping, Sequence, Union
+
+__all__ = ["EventPattern", "PatternError", "matches_pattern"]
+
+
+class PatternError(ValueError):
+    """The pattern is structurally invalid."""
+
+
+_NUMERIC_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+}
+
+
+def _match_content_filter(filter_spec: Mapping[str, Any], value: Any) -> bool:
+    """Evaluate one content filter against a value."""
+    if len(filter_spec) != 1:
+        raise PatternError(f"content filter must have exactly one key: {filter_spec!r}")
+    kind, arg = next(iter(filter_spec.items()))
+    if kind == "prefix":
+        return isinstance(value, str) and value.startswith(str(arg))
+    if kind == "suffix":
+        return isinstance(value, str) and value.endswith(str(arg))
+    if kind == "exists":
+        exists = value is not _MISSING
+        return exists if arg else not exists
+    if kind == "anything-but":
+        alternatives = arg if isinstance(arg, list) else [arg]
+        return value is not _MISSING and value not in alternatives
+    if kind == "numeric":
+        if value is _MISSING or not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if not isinstance(arg, Sequence) or len(arg) % 2 != 0 or not arg:
+            raise PatternError(f"numeric filter needs op/operand pairs: {arg!r}")
+        for op, operand in zip(arg[0::2], arg[1::2]):
+            if op not in _NUMERIC_OPS:
+                raise PatternError(f"unknown numeric operator {op!r}")
+            if not _NUMERIC_OPS[op](value, operand):
+                return False
+        return True
+    if kind == "equals-ignore-case":
+        return isinstance(value, str) and value.lower() == str(arg).lower()
+    raise PatternError(f"unknown content filter {kind!r}")
+
+
+class _Missing:
+    """Sentinel for keys absent from the event."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _match_leaf(alternatives: Sequence[Any], value: Any) -> bool:
+    """A leaf matches when any alternative literal/content filter matches."""
+    for alternative in alternatives:
+        if isinstance(alternative, Mapping):
+            if _match_content_filter(alternative, value):
+                return True
+        elif value is not _MISSING and value == alternative:
+            return True
+        elif alternative is None and value is None:
+            return True
+    return False
+
+
+def _match_node(pattern: Mapping[str, Any], event: Any) -> bool:
+    for key, expected in pattern.items():
+        value = event.get(key, _MISSING) if isinstance(event, Mapping) else _MISSING
+        if isinstance(expected, Mapping):
+            # Nested object pattern: descend.
+            if value is _MISSING or not isinstance(value, Mapping):
+                # An {"exists": false} filter nested deeper can still match a
+                # missing subtree; handle by descending with an empty dict.
+                if not _match_node(expected, {}):
+                    return False
+            elif not _match_node(expected, value):
+                return False
+        elif isinstance(expected, list):
+            if isinstance(value, list):
+                # Event arrays match when any element matches any alternative.
+                if not any(_match_leaf(expected, item) for item in value):
+                    return False
+            elif not _match_leaf(expected, value):
+                return False
+        else:
+            raise PatternError(
+                f"pattern values must be lists or nested objects, got {expected!r} for {key!r}"
+            )
+    return True
+
+
+def matches_pattern(pattern: Union[str, Mapping[str, Any], None], event: Mapping[str, Any]) -> bool:
+    """Return whether ``event`` satisfies ``pattern``.
+
+    ``pattern`` may be a dict, a JSON string, or ``None``/empty (matches
+    everything, i.e. an unfiltered trigger).
+    """
+    if pattern is None:
+        return True
+    if isinstance(pattern, str):
+        try:
+            pattern = json.loads(pattern)
+        except json.JSONDecodeError as exc:
+            raise PatternError(f"pattern is not valid JSON: {exc}") from exc
+    if not isinstance(pattern, Mapping):
+        raise PatternError("pattern must be a JSON object")
+    if not pattern:
+        return True
+    return _match_node(pattern, event)
+
+
+class EventPattern:
+    """A compiled, reusable pattern with validation at construction time."""
+
+    def __init__(self, pattern: Union[str, Mapping[str, Any], None]) -> None:
+        if isinstance(pattern, str):
+            try:
+                pattern = json.loads(pattern)
+            except json.JSONDecodeError as exc:
+                raise PatternError(f"pattern is not valid JSON: {exc}") from exc
+        if pattern is not None and not isinstance(pattern, Mapping):
+            raise PatternError("pattern must be a JSON object or None")
+        self._pattern = dict(pattern) if pattern else None
+        # Validate eagerly against an empty event so malformed filters fail
+        # at trigger registration time, not on the first event.
+        if self._pattern is not None:
+            _match_node(self._pattern, {})
+
+    @property
+    def pattern(self) -> Union[Mapping[str, Any], None]:
+        return self._pattern
+
+    def matches(self, event: Mapping[str, Any]) -> bool:
+        return matches_pattern(self._pattern, event)
+
+    def filter(self, events: Sequence[Mapping[str, Any]]) -> List[Mapping[str, Any]]:
+        return [event for event in events if self.matches(event)]
+
+    def to_json(self) -> str:
+        return json.dumps(self._pattern or {}, sort_keys=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EventPattern({self.to_json()})"

@@ -1,0 +1,188 @@
+"""Processing-pressure autoscaling of trigger consumers.
+
+Lambda "evaluates the processing pressure at 1 min intervals, and scales
+concurrent invocations of the function dynamically when warranted"
+(Section IV-D).  The paper's trigger-scaling experiment (Figure 4) buffers
+5000+ thirty-second tasks across 128 partitions and observes the number of
+concurrent trigger invocations rise from 3 to 128 within four minutes,
+then fall shortly before the workload completes.
+
+Two pieces live here:
+
+* :class:`ProcessingPressureScaler` — the pure scaling policy: given the
+  backlog and current concurrency, decide the next concurrency.
+* :class:`TriggerScalingSimulator` — a deterministic time-stepped
+  simulator that combines the policy with an invocation-duration model to
+  produce the (time, queue depth, concurrent invocations) series of
+  Figures 4 and 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ScalingPolicy:
+    """Tunable knobs of the processing-pressure policy."""
+
+    #: Seconds between scaling evaluations (Lambda uses one minute).
+    evaluation_interval_seconds: float = 60.0
+    #: Concurrency at mapping creation time.
+    initial_concurrency: int = 3
+    #: Hard cap on concurrent invocations (also capped by partition count).
+    max_concurrency: int = 128
+    #: Multiplicative scale-up factor applied when backlog warrants it.
+    scale_up_factor: float = 3.0
+    #: Backlog (events per current consumer) above which we scale up.
+    backlog_per_consumer_threshold: float = 2.0
+    #: Minimum concurrency while there is any backlog at all.
+    min_concurrency: int = 1
+
+    def validate(self) -> None:
+        if self.evaluation_interval_seconds <= 0:
+            raise ValueError("evaluation_interval_seconds must be > 0")
+        if self.initial_concurrency < 1:
+            raise ValueError("initial_concurrency must be >= 1")
+        if self.max_concurrency < self.initial_concurrency:
+            raise ValueError("max_concurrency must be >= initial_concurrency")
+        if self.scale_up_factor <= 1.0:
+            raise ValueError("scale_up_factor must be > 1")
+
+
+class ProcessingPressureScaler:
+    """The scaling decision function."""
+
+    def __init__(self, policy: Optional[ScalingPolicy] = None, *, partitions: int = 1) -> None:
+        self.policy = policy or ScalingPolicy()
+        self.policy.validate()
+        self.partitions = max(1, partitions)
+
+    @property
+    def concurrency_ceiling(self) -> int:
+        """Concurrency can never exceed the partition count (Kafka semantics)."""
+        return min(self.policy.max_concurrency, self.partitions)
+
+    def next_concurrency(self, backlog: int, in_flight: int, current: int) -> int:
+        """Decide the concurrency for the next evaluation window.
+
+        * Backlog well above what the current consumers can absorb →
+          multiply concurrency by ``scale_up_factor``.
+        * Little or no pending work → shrink towards what is strictly
+          needed (the scale-down "shortly before all tasks are complete"
+          visible in Figure 4).
+        """
+        current = max(self.policy.min_concurrency, current)
+        pending = backlog + in_flight
+        if pending == 0:
+            return 0
+        per_consumer = backlog / max(1, current)
+        if per_consumer > self.policy.backlog_per_consumer_threshold:
+            scaled = int(math.ceil(current * self.policy.scale_up_factor))
+        else:
+            # Enough capacity: target just the work that remains.
+            scaled = int(math.ceil(pending / max(1.0, self.policy.backlog_per_consumer_threshold)))
+        scaled = max(self.policy.min_concurrency, scaled)
+        return min(self.concurrency_ceiling, scaled)
+
+
+@dataclass(frozen=True)
+class ScalingSample:
+    """One point of the Figure 4 / Figure 7 time series."""
+
+    time_seconds: float
+    queue_depth: int
+    concurrent_invocations: int
+    completed: int
+
+
+@dataclass
+class TriggerScalingSimulator:
+    """Deterministic simulation of trigger scaling under a task backlog.
+
+    Parameters
+    ----------
+    num_tasks:
+        Number of buffered events (tasks) at time zero, plus whatever an
+        optional ``arrival_fn`` adds over time.
+    task_duration_seconds:
+        How long each trigger invocation takes (30 s in Figure 4).
+    partitions:
+        Partition count of the topic (128 in Figure 4) — the concurrency
+        ceiling.
+    batch_size:
+        Events consumed per invocation (1 in Figure 4).
+    policy:
+        Autoscaler policy; evaluation interval defaults to one minute.
+    arrival_fn:
+        Optional ``f(t) -> int`` giving the number of *new* events arriving
+        during the time step ending at ``t`` (used for Figure 7, where FS
+        events stream in rather than being pre-buffered).
+    """
+
+    num_tasks: int
+    task_duration_seconds: float = 30.0
+    partitions: int = 128
+    batch_size: int = 1
+    policy: ScalingPolicy = field(default_factory=ScalingPolicy)
+    arrival_fn: Optional[Callable[[float], int]] = None
+    time_step_seconds: float = 1.0
+
+    def run(self, max_seconds: float = 7200.0) -> List[ScalingSample]:
+        """Run until the backlog is drained (or ``max_seconds``)."""
+        scaler = ProcessingPressureScaler(self.policy, partitions=self.partitions)
+        queue = int(self.num_tasks)
+        completed = 0
+        concurrency = min(self.policy.initial_concurrency, scaler.concurrency_ceiling)
+        # Remaining processing time of each in-flight invocation.
+        in_flight: List[float] = []
+        samples: List[ScalingSample] = []
+        t = 0.0
+        next_evaluation = self.policy.evaluation_interval_seconds
+        samples.append(ScalingSample(0.0, queue, len(in_flight), 0))
+        while t < max_seconds:
+            t += self.time_step_seconds
+            if self.arrival_fn is not None:
+                queue += max(0, int(self.arrival_fn(t)))
+            # Progress in-flight work.
+            still_running: List[float] = []
+            for remaining in in_flight:
+                remaining -= self.time_step_seconds
+                if remaining > 1e-9:
+                    still_running.append(remaining)
+                else:
+                    completed += self.batch_size
+            in_flight = still_running
+            # Start new invocations up to the current concurrency allowance.
+            while queue > 0 and len(in_flight) < concurrency:
+                take = min(self.batch_size, queue)
+                queue -= take
+                in_flight.append(self.task_duration_seconds)
+            # Periodic scaling evaluation.
+            if t >= next_evaluation:
+                concurrency = scaler.next_concurrency(queue, len(in_flight), max(concurrency, 1))
+                next_evaluation += self.policy.evaluation_interval_seconds
+            samples.append(ScalingSample(t, queue, len(in_flight), completed))
+            if queue == 0 and not in_flight and (
+                self.arrival_fn is None or t > max_seconds / 2
+            ):
+                break
+        return samples
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def peak_concurrency(samples: Sequence[ScalingSample]) -> int:
+        return max(s.concurrent_invocations for s in samples)
+
+    @staticmethod
+    def time_to_reach(samples: Sequence[ScalingSample], concurrency: int) -> Optional[float]:
+        for sample in samples:
+            if sample.concurrent_invocations >= concurrency:
+                return sample.time_seconds
+        return None
+
+    @staticmethod
+    def completion_time(samples: Sequence[ScalingSample]) -> float:
+        return samples[-1].time_seconds

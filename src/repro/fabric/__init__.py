@@ -1,0 +1,65 @@
+"""Kafka-like event fabric.
+
+This package is the substrate the paper builds Octopus on top of (Apache
+Kafka hosted on AWS MSK).  It provides an in-process, thread-safe
+implementation of the parts of Kafka the paper's evaluation and
+applications exercise:
+
+* append-only partition logs with strictly increasing offsets,
+* topics composed of one or more partitions with a replication factor,
+* a cluster of brokers with a controller, leader election and in-sync
+  replica (ISR) tracking,
+* producers with configurable acknowledgements (``acks`` of ``0``, ``1``
+  or ``"all"``), retries and batching,
+* consumers and consumer groups with partition assignment, rebalancing
+  and committed offsets (at-least-once delivery),
+* retention and compaction policies, and
+* a MirrorMaker-like cross-cluster replicator.
+"""
+
+from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
+from repro.fabric.partition import PartitionLog
+from repro.fabric.topic import Topic, TopicConfig
+from repro.fabric.broker import Broker
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.producer import FabricProducer, ProducerConfig
+from repro.fabric.consumer import FabricConsumer, ConsumerConfig
+from repro.fabric.group import ConsumerGroupCoordinator
+from repro.fabric.offsets import OffsetStore
+from repro.fabric.errors import (
+    FabricError,
+    UnknownTopicError,
+    UnknownPartitionError,
+    NotEnoughReplicasError,
+    NotLeaderError,
+    AuthorizationError,
+    OffsetOutOfRangeError,
+    BrokerUnavailableError,
+    RecordTooLargeError,
+)
+
+__all__ = [
+    "EventRecord",
+    "RecordBatch",
+    "RecordMetadata",
+    "PartitionLog",
+    "Topic",
+    "TopicConfig",
+    "Broker",
+    "FabricCluster",
+    "FabricProducer",
+    "ProducerConfig",
+    "FabricConsumer",
+    "ConsumerConfig",
+    "ConsumerGroupCoordinator",
+    "OffsetStore",
+    "FabricError",
+    "UnknownTopicError",
+    "UnknownPartitionError",
+    "NotEnoughReplicasError",
+    "NotLeaderError",
+    "AuthorizationError",
+    "OffsetOutOfRangeError",
+    "BrokerUnavailableError",
+    "RecordTooLargeError",
+]

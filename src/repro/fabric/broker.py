@@ -1,0 +1,154 @@
+"""Broker nodes.
+
+A broker hosts replicas of topic partitions.  One replica of each
+partition is the *leader* (all produces and fetches go through it); the
+others are *followers* that the replication machinery keeps in sync.  The
+cluster controller (:mod:`repro.fabric.cluster`) decides placement and
+leadership; the broker itself only stores data and serves requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.fabric.errors import BrokerUnavailableError, UnknownPartitionError
+from repro.fabric.partition import PartitionLog
+from repro.fabric.record import EventRecord, StoredRecord
+
+
+@dataclass(frozen=True)
+class BrokerSpec:
+    """Static description of a broker instance.
+
+    ``instance_type``/``vcpus``/``memory_gb`` mirror the MSK instance
+    classes in Table II (``kafka.m5.large`` = 2 vCPU / 8 GB,
+    ``kafka.m5.xlarge`` = 4 vCPU / 16 GB) and feed the performance model
+    in :mod:`repro.simulation.cluster_model`.
+    """
+
+    broker_id: int
+    instance_type: str = "kafka.m5.large"
+    vcpus: int = 2
+    memory_gb: int = 8
+    availability_zone: str = "us-east-1a"
+
+
+class Broker:
+    """A single broker process hosting partition replicas."""
+
+    def __init__(self, spec: BrokerSpec) -> None:
+        self.spec = spec
+        self.broker_id = spec.broker_id
+        self._replicas: Dict[Tuple[str, int], PartitionLog] = {}
+        self._lock = threading.RLock()
+        self._online = True
+
+    # ------------------------------------------------------------------ #
+    # Liveness (failure injection)
+    # ------------------------------------------------------------------ #
+    @property
+    def online(self) -> bool:
+        return self._online
+
+    def shutdown(self) -> None:
+        """Take the broker offline (simulated crash/maintenance)."""
+        with self._lock:
+            self._online = False
+
+    def restart(self) -> None:
+        """Bring the broker back online.  Replica data is retained."""
+        with self._lock:
+            self._online = True
+
+    def _check_online(self) -> None:
+        if not self._online:
+            raise BrokerUnavailableError(f"broker {self.broker_id} is offline")
+
+    # ------------------------------------------------------------------ #
+    # Replica management
+    # ------------------------------------------------------------------ #
+    def create_replica(
+        self, topic: str, partition: int, *, max_message_bytes: int = 8 * 1024 * 1024
+    ) -> PartitionLog:
+        """Create (or return the existing) local replica for a partition."""
+        with self._lock:
+            key = (topic, partition)
+            if key not in self._replicas:
+                self._replicas[key] = PartitionLog(
+                    topic, partition, max_message_bytes=max_message_bytes
+                )
+            return self._replicas[key]
+
+    def drop_replica(self, topic: str, partition: int) -> None:
+        with self._lock:
+            self._replicas.pop((topic, partition), None)
+
+    def replica(self, topic: str, partition: int) -> PartitionLog:
+        self._check_online()
+        with self._lock:
+            try:
+                return self._replicas[(topic, partition)]
+            except KeyError:
+                raise UnknownPartitionError(
+                    f"broker {self.broker_id} hosts no replica of {topic}-{partition}"
+                ) from None
+
+    def has_replica(self, topic: str, partition: int) -> bool:
+        with self._lock:
+            return (topic, partition) in self._replicas
+
+    def hosted_partitions(self) -> Iterable[Tuple[str, int]]:
+        with self._lock:
+            return tuple(self._replicas.keys())
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def append(
+        self, topic: str, partition: int, record: EventRecord
+    ) -> int:
+        """Append to the local replica (leader path)."""
+        self._check_online()
+        return self.replica(topic, partition).append(record)
+
+    def replicate(
+        self, topic: str, partition: int, records: Iterable[StoredRecord]
+    ) -> int:
+        """Follower path: copy records appended on the leader.
+
+        Offsets are preserved; returns the follower's new log end offset.
+        """
+        self._check_online()
+        log = self.replica(topic, partition)
+        for stored in records:
+            if stored.offset >= log.log_end_offset:
+                log.append(stored.record, append_time=stored.append_time)
+        return log.log_end_offset
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+    ) -> list[StoredRecord]:
+        self._check_online()
+        return self.replica(topic, partition).fetch(
+            offset, max_records=max_records, max_bytes=max_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "broker_id": self.broker_id,
+                "instance_type": self.spec.instance_type,
+                "vcpus": self.spec.vcpus,
+                "memory_gb": self.spec.memory_gb,
+                "availability_zone": self.spec.availability_zone,
+                "online": self._online,
+                "replicas": sorted(f"{t}-{p}" for t, p in self._replicas),
+            }

@@ -1,0 +1,371 @@
+"""The fabric cluster: brokers, controller, topic metadata and the data path.
+
+:class:`FabricCluster` is the stand-in for an MSK deployment (Table II of
+the paper): a set of brokers plus the controller logic that creates
+topics, places replicas, routes produces to partition leaders, serves
+fetches and coordinates consumer groups.  Per-topic authorization is
+delegated to an optional :class:`~repro.auth.acl.AclStore`-compatible
+authorizer, matching how MSK enforces IAM ACLs maintained through the
+Octopus Web Service.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.fabric.broker import Broker, BrokerSpec
+from repro.fabric.errors import (
+    AuthorizationError,
+    BrokerUnavailableError,
+    NotLeaderError,
+    TopicAlreadyExistsError,
+    UnknownTopicError,
+)
+from repro.fabric.group import ConsumerGroupCoordinator, TopicPartition
+from repro.fabric.offsets import OffsetStore
+from repro.fabric.record import EventRecord, RecordMetadata, StoredRecord
+from repro.fabric.replication import PartitionAssignment, ReplicationManager
+from repro.fabric.retention import RetentionEnforcer
+from repro.fabric.topic import Topic, TopicConfig
+
+#: Authorizer callback signature: (principal, operation, topic) -> bool.
+Authorizer = Callable[[Optional[str], str, str], bool]
+
+
+def _allow_all(principal: Optional[str], operation: str, topic: str) -> bool:
+    return True
+
+
+class FabricCluster:
+    """An in-process cluster of brokers exposing a Kafka-like API."""
+
+    def __init__(
+        self,
+        num_brokers: int = 2,
+        *,
+        instance_type: str = "kafka.m5.large",
+        vcpus_per_broker: int = 2,
+        memory_gb_per_broker: int = 8,
+        authorizer: Optional[Authorizer] = None,
+        name: str = "octopus-msk",
+    ) -> None:
+        if num_brokers < 1:
+            raise ValueError("a cluster needs at least one broker")
+        self.name = name
+        zones = ("us-east-1a", "us-east-1b", "us-east-1c", "us-east-1d")
+        self._brokers: Dict[int, Broker] = {
+            broker_id: Broker(
+                BrokerSpec(
+                    broker_id=broker_id,
+                    instance_type=instance_type,
+                    vcpus=vcpus_per_broker,
+                    memory_gb=memory_gb_per_broker,
+                    availability_zone=zones[broker_id % len(zones)],
+                )
+            )
+            for broker_id in range(num_brokers)
+        }
+        self._topics: Dict[str, Topic] = {}
+        self._lock = threading.RLock()
+        self._replication = ReplicationManager(self._brokers)
+        self._offsets = OffsetStore()
+        self._groups = ConsumerGroupCoordinator()
+        self._retention = RetentionEnforcer()
+        self._authorizer: Authorizer = authorizer or _allow_all
+        self._placement_cursor = 0
+        self._persistence_sinks: List[Callable[[str, int, StoredRecord], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def brokers(self) -> Dict[int, Broker]:
+        return dict(self._brokers)
+
+    @property
+    def offsets(self) -> OffsetStore:
+        return self._offsets
+
+    @property
+    def groups(self) -> ConsumerGroupCoordinator:
+        return self._groups
+
+    @property
+    def replication(self) -> ReplicationManager:
+        return self._replication
+
+    def set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
+        self._authorizer = authorizer or _allow_all
+
+    def add_persistence_sink(
+        self, sink: Callable[[str, int, StoredRecord], None]
+    ) -> None:
+        """Register a callback invoked for every record on persistent topics.
+
+        This models the red "persistence to reliable cloud storage" arrow in
+        Figure 2 of the paper; :mod:`repro.services.storage` provides an
+        S3-like sink.
+        """
+        self._persistence_sinks.append(sink)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "brokers": [b.describe() for b in self._brokers.values()],
+                "topics": sorted(self._topics),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Topic management (controller)
+    # ------------------------------------------------------------------ #
+    def create_topic(
+        self,
+        name: str,
+        config: Optional[TopicConfig] = None,
+        *,
+        principal: Optional[str] = None,
+    ) -> Topic:
+        """Create a topic and place its partition replicas on brokers."""
+        config = config or TopicConfig()
+        config.validate()
+        with self._lock:
+            if name in self._topics:
+                raise TopicAlreadyExistsError(f"topic {name!r} already exists")
+            if config.replication_factor > len(self._brokers):
+                config = config.with_updates(replication_factor=len(self._brokers))
+            topic = Topic(name=name, config=config)
+            self._topics[name] = topic
+            for partition in range(config.num_partitions):
+                self._place_partition(topic, partition)
+            return topic
+
+    def delete_topic(self, name: str, *, principal: Optional[str] = None) -> None:
+        # Administrative operation: ownership checks happen in the control
+        # plane (OWS TopicService); the data-plane authorizer is not consulted.
+        with self._lock:
+            topic = self._topics.pop(name, None)
+            if topic is None:
+                raise UnknownTopicError(f"topic {name!r} does not exist")
+            for broker in self._brokers.values():
+                for partition in range(topic.num_partitions):
+                    broker.drop_replica(name, partition)
+            self._replication.unregister_topic(name)
+
+    def topic(self, name: str) -> Topic:
+        with self._lock:
+            try:
+                return self._topics[name]
+            except KeyError:
+                raise UnknownTopicError(f"topic {name!r} does not exist") from None
+
+    def has_topic(self, name: str) -> bool:
+        with self._lock:
+            return name in self._topics
+
+    def topics(self) -> List[str]:
+        with self._lock:
+            return sorted(self._topics)
+
+    def update_topic_config(self, name: str, **updates) -> TopicConfig:
+        """Apply config updates; new partitions get replica placements."""
+        with self._lock:
+            topic = self.topic(name)
+            before = topic.num_partitions
+            config = topic.update_config(**updates)
+            for partition in range(before, topic.num_partitions):
+                self._place_partition(topic, partition)
+            return config
+
+    def set_partitions(self, name: str, num_partitions: int) -> TopicConfig:
+        """``POST /topic/<topic>/partitions`` — grow the partition count."""
+        return self.update_topic_config(name, num_partitions=num_partitions)
+
+    def _place_partition(self, topic: Topic, partition: int) -> PartitionAssignment:
+        """Round-robin replica placement across brokers, leader = first replica."""
+        broker_ids = sorted(self._brokers)
+        rf = min(topic.config.replication_factor, len(broker_ids))
+        start = self._placement_cursor
+        self._placement_cursor += 1
+        replicas = [broker_ids[(start + i) % len(broker_ids)] for i in range(rf)]
+        for broker_id in replicas:
+            self._brokers[broker_id].create_replica(
+                topic.name,
+                partition,
+                max_message_bytes=topic.config.max_message_bytes,
+            )
+        assignment = PartitionAssignment(
+            topic=topic.name, partition=partition, replicas=replicas, leader=replicas[0]
+        )
+        self._replication.register(assignment)
+        return assignment
+
+    # ------------------------------------------------------------------ #
+    # Authorization
+    # ------------------------------------------------------------------ #
+    def _authorize(self, principal: Optional[str], operation: str, topic: str) -> None:
+        if not self._authorizer(principal, operation, topic):
+            raise AuthorizationError(
+                f"principal {principal!r} is not authorized to {operation} topic {topic!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Data path: produce
+    # ------------------------------------------------------------------ #
+    def append(
+        self,
+        topic_name: str,
+        partition: int,
+        record: EventRecord,
+        *,
+        acks: object = 1,
+        principal: Optional[str] = None,
+    ) -> RecordMetadata:
+        """Append one record to a partition leader.
+
+        ``acks`` follows Kafka semantics: ``0`` (fire and forget), ``1``
+        (leader has written) or ``"all"`` (ISR must satisfy
+        ``min.insync.replicas``).
+        """
+        self._authorize(principal, "WRITE", topic_name)
+        topic = self.topic(topic_name)
+        topic.partition(partition)  # validates the partition exists
+        assignment = self._replication.assignment(topic_name, partition)
+        leader = self._brokers[assignment.leader]
+        if not leader.online:
+            new_leader = self._replication.elect_leader(topic_name, partition)
+            if new_leader is None:
+                raise BrokerUnavailableError(
+                    f"no online replica for {topic_name}-{partition}"
+                )
+            leader = self._brokers[new_leader]
+        offset = leader.append(topic_name, partition, record)
+        # Mirror into the logical topic view (used by retention and metrics).
+        canonical = topic.partition(partition)
+        if canonical.log_end_offset <= offset:
+            canonical.append(record)
+        if acks == "all":
+            self._replication.check_min_isr(
+                topic_name, partition, topic.config.min_insync_replicas
+            )
+        elif acks in (1, "1"):
+            # Leader write already durable; followers catch up asynchronously.
+            pass
+        # acks == 0: nothing further.
+        self._replication.replicate_from_leader(topic_name, partition)
+        stored = StoredRecord(offset=offset, record=record, append_time=record.timestamp)
+        if topic.config.persist_to_store:
+            for sink in self._persistence_sinks:
+                sink(topic_name, partition, stored)
+        return RecordMetadata(
+            topic=topic_name,
+            partition=partition,
+            offset=offset,
+            timestamp=record.timestamp,
+            serialized_size=record.size_bytes(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Data path: fetch
+    # ------------------------------------------------------------------ #
+    def fetch(
+        self,
+        topic_name: str,
+        partition: int,
+        offset: int,
+        *,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+        principal: Optional[str] = None,
+    ) -> List[StoredRecord]:
+        """Fetch records from the partition leader starting at ``offset``."""
+        self._authorize(principal, "READ", topic_name)
+        self.topic(topic_name)
+        assignment = self._replication.assignment(topic_name, partition)
+        leader = self._brokers[assignment.leader]
+        if not leader.online:
+            new_leader = self._replication.elect_leader(topic_name, partition)
+            if new_leader is None:
+                raise BrokerUnavailableError(
+                    f"no online replica for {topic_name}-{partition}"
+                )
+            leader = self._brokers[new_leader]
+        return leader.fetch(
+            topic_name, partition, offset, max_records=max_records, max_bytes=max_bytes
+        )
+
+    def end_offsets(self, topic_name: str) -> Dict[int, int]:
+        """Log-end offsets per partition, read from the current leaders."""
+        self.topic(topic_name)
+        out: Dict[int, int] = {}
+        for assignment in self._replication.assignments_for_topic(topic_name):
+            leader = self._brokers[assignment.leader]
+            if not leader.online:
+                elected = self._replication.elect_leader(
+                    topic_name, assignment.partition
+                )
+                if elected is None:
+                    out[assignment.partition] = 0
+                    continue
+                leader = self._brokers[elected]
+            out[assignment.partition] = leader.replica(
+                topic_name, assignment.partition
+            ).log_end_offset
+        return out
+
+    def beginning_offsets(self, topic_name: str) -> Dict[int, int]:
+        self.topic(topic_name)
+        out: Dict[int, int] = {}
+        for assignment in self._replication.assignments_for_topic(topic_name):
+            leader = self._brokers[assignment.leader]
+            out[assignment.partition] = leader.replica(
+                topic_name, assignment.partition
+            ).log_start_offset
+        return out
+
+    def partitions_for(self, topic_name: str) -> List[TopicPartition]:
+        topic = self.topic(topic_name)
+        return [(topic_name, index) for index in range(topic.num_partitions)]
+
+    def total_lag(self, group_id: str, topic_name: str) -> int:
+        """Aggregate consumer lag of a group over a topic (processing pressure)."""
+        lag = 0
+        for partition, end in self.end_offsets(topic_name).items():
+            lag += self._offsets.lag(group_id, topic_name, partition, end)
+        return lag
+
+    # ------------------------------------------------------------------ #
+    # Failure injection and maintenance
+    # ------------------------------------------------------------------ #
+    def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
+        """Crash a broker and re-elect leaders for its partitions."""
+        self._brokers[broker_id].shutdown()
+        return self._replication.handle_broker_failure(broker_id)
+
+    def restore_broker(self, broker_id: int) -> None:
+        """Bring a broker back; followers re-sync on the next replication pass."""
+        self._brokers[broker_id].restart()
+        for assignment in self._replication.all_assignments():
+            if broker_id in assignment.replicas:
+                self._replication.replicate_from_leader(
+                    assignment.topic, assignment.partition
+                )
+
+    def run_retention(self, topic_name: Optional[str] = None) -> Dict[str, Dict[int, int]]:
+        """Run retention/compaction on one topic or every topic."""
+        with self._lock:
+            names = [topic_name] if topic_name else list(self._topics)
+        removed: Dict[str, Dict[int, int]] = {}
+        for name in names:
+            removed[name] = self._retention.enforce(self.topic(name))
+            # Propagate truncation to broker replicas so fetches agree.
+            for assignment in self._replication.assignments_for_topic(name):
+                canonical = self.topic(name).partition(assignment.partition)
+                for broker_id in assignment.replicas:
+                    broker = self._brokers[broker_id]
+                    if broker.online and broker.has_replica(name, assignment.partition):
+                        broker.replica(name, assignment.partition).truncate_before(
+                            canonical.log_start_offset
+                        )
+        return removed

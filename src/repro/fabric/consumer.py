@@ -1,0 +1,288 @@
+"""Consumer client for the event fabric.
+
+Supports the consumption modes the paper describes (Section IV-F):
+consume from the earliest offset, the latest offset, or after a given
+timestamp; periodic automatic offset commits (at-least-once delivery) or
+manual commits; and consumer groups so that several consumers — or many
+instances of a trigger function — share a topic's partitions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.errors import CommitFailedError, IllegalGenerationError
+from repro.fabric.group import TopicPartition
+from repro.fabric.record import StoredRecord
+
+
+@dataclass(frozen=True)
+class ConsumerConfig:
+    """Client-side consumer configuration.
+
+    ``receive_buffer_bytes`` defaults to the 2 MB the paper's evaluation
+    uses (Section V-B); ``auto_offset_reset`` selects earliest/latest
+    behaviour when the group has no committed offset.
+    """
+
+    group_id: str = "default-group"
+    client_id: str = "octopus-consumer"
+    auto_offset_reset: str = "earliest"
+    enable_auto_commit: bool = True
+    auto_commit_interval_seconds: float = 5.0
+    max_poll_records: int = 500
+    receive_buffer_bytes: int = 2 * 1024 * 1024
+    start_timestamp: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.auto_offset_reset not in ("earliest", "latest", "timestamp"):
+            raise ValueError(
+                "auto_offset_reset must be 'earliest', 'latest' or 'timestamp'"
+            )
+        if self.auto_offset_reset == "timestamp" and self.start_timestamp is None:
+            raise ValueError("start_timestamp required when auto_offset_reset='timestamp'")
+        if self.max_poll_records <= 0:
+            raise ValueError("max_poll_records must be > 0")
+
+
+@dataclass
+class ConsumerMetrics:
+    """Counters aggregated by the benchmarking operator."""
+
+    records_consumed: int = 0
+    bytes_consumed: int = 0
+    polls: int = 0
+    commits: int = 0
+    poll_latencies: List[float] = field(default_factory=list)
+
+
+class FabricConsumer:
+    """Reads events from the fabric as part of a consumer group."""
+
+    def __init__(
+        self,
+        cluster: FabricCluster,
+        topics: Sequence[str],
+        config: Optional[ConsumerConfig] = None,
+        *,
+        principal: Optional[str] = None,
+    ) -> None:
+        self.config = config or ConsumerConfig()
+        self.config.validate()
+        self._cluster = cluster
+        self._principal = principal
+        self._topics = list(topics)
+        self._lock = threading.RLock()
+        self._positions: Dict[TopicPartition, int] = {}
+        self._closed = False
+        self._last_auto_commit = time.time()
+        self.metrics = ConsumerMetrics()
+        partitions = self._all_partitions()
+        self._member_id, self._generation, assignment = cluster.groups.join(
+            self.config.group_id, self.config.client_id, self._topics, partitions
+        )
+        self._assignment = list(assignment)
+        self._initialise_positions()
+
+    # ------------------------------------------------------------------ #
+    # Assignment / positions
+    # ------------------------------------------------------------------ #
+    @property
+    def member_id(self) -> str:
+        return self._member_id
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def assignment(self) -> List[TopicPartition]:
+        with self._lock:
+            return list(self._assignment)
+
+    def _all_partitions(self) -> List[TopicPartition]:
+        partitions: List[TopicPartition] = []
+        for topic in self._topics:
+            partitions.extend(self._cluster.partitions_for(topic))
+        return partitions
+
+    def _initialise_positions(self) -> None:
+        """Seed fetch positions from committed offsets or the reset policy."""
+        with self._lock:
+            for topic, partition in self._assignment:
+                committed = self._cluster.offsets.committed(
+                    self.config.group_id, topic, partition
+                )
+                if committed is not None:
+                    self._positions[(topic, partition)] = committed
+                    continue
+                if self.config.auto_offset_reset == "latest":
+                    end = self._cluster.end_offsets(topic)[partition]
+                    self._positions[(topic, partition)] = end
+                elif self.config.auto_offset_reset == "timestamp":
+                    log = self._cluster.topic(topic).partition(partition)
+                    offset = log.offset_for_timestamp(self.config.start_timestamp or 0.0)
+                    self._positions[(topic, partition)] = (
+                        offset if offset is not None else log.log_end_offset
+                    )
+                else:  # earliest
+                    begin = self._cluster.beginning_offsets(topic)[partition]
+                    self._positions[(topic, partition)] = begin
+
+    def position(self, topic: str, partition: int) -> int:
+        with self._lock:
+            return self._positions.get((topic, partition), 0)
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        """Explicitly reposition the consumer on a partition it owns."""
+        with self._lock:
+            if (topic, partition) not in self._assignment:
+                raise ValueError(f"{topic}-{partition} is not assigned to this consumer")
+            self._positions[(topic, partition)] = max(0, offset)
+
+    def seek_to_beginning(self) -> None:
+        with self._lock:
+            for topic, partition in self._assignment:
+                begin = self._cluster.beginning_offsets(topic)[partition]
+                self._positions[(topic, partition)] = begin
+
+    def seek_to_end(self) -> None:
+        with self._lock:
+            for topic, partition in self._assignment:
+                end = self._cluster.end_offsets(topic)[partition]
+                self._positions[(topic, partition)] = end
+
+    # ------------------------------------------------------------------ #
+    # Poll / commit
+    # ------------------------------------------------------------------ #
+    def poll(
+        self, max_records: Optional[int] = None
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        """Fetch available records from every assigned partition.
+
+        Advances in-memory positions; offsets become durable only when
+        committed (automatically or via :meth:`commit`).
+        """
+        self._ensure_open()
+        self._maybe_rejoin()
+        limit = max_records if max_records is not None else self.config.max_poll_records
+        start = time.perf_counter()
+        out: Dict[TopicPartition, List[StoredRecord]] = {}
+        with self._lock:
+            assignment = list(self._assignment)
+        remaining = limit
+        for topic, partition in assignment:
+            if remaining <= 0:
+                break
+            position = self.position(topic, partition)
+            records = self._cluster.fetch(
+                topic,
+                partition,
+                position,
+                max_records=remaining,
+                max_bytes=self.config.receive_buffer_bytes,
+                principal=self._principal,
+            )
+            if records:
+                out[(topic, partition)] = records
+                with self._lock:
+                    self._positions[(topic, partition)] = records[-1].offset + 1
+                remaining -= len(records)
+                self.metrics.records_consumed += len(records)
+                self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)
+        self.metrics.polls += 1
+        self.metrics.poll_latencies.append(time.perf_counter() - start)
+        if self.config.enable_auto_commit:
+            now = time.time()
+            if now - self._last_auto_commit >= self.config.auto_commit_interval_seconds:
+                self.commit()
+                self._last_auto_commit = now
+        return out
+
+    def poll_flat(self, max_records: Optional[int] = None) -> List[StoredRecord]:
+        """Like :meth:`poll` but flattened into a single offset-ordered list."""
+        batches = self.poll(max_records=max_records)
+        out: List[StoredRecord] = []
+        for records in batches.values():
+            out.extend(records)
+        return out
+
+    def commit(self, offsets: Optional[Dict[TopicPartition, int]] = None) -> None:
+        """Commit current positions (or explicit ``offsets``) for the group."""
+        self._ensure_open()
+        with self._lock:
+            to_commit = dict(offsets) if offsets is not None else dict(self._positions)
+        try:
+            self._cluster.groups.validate_generation(
+                self.config.group_id, self._member_id, self._generation
+            )
+        except IllegalGenerationError as exc:
+            raise CommitFailedError(str(exc)) from exc
+        for (topic, partition), offset in to_commit.items():
+            self._cluster.offsets.commit(
+                self.config.group_id, topic, partition, offset
+            )
+        self.metrics.commits += 1
+
+    def committed(self, topic: str, partition: int) -> Optional[int]:
+        return self._cluster.offsets.committed(self.config.group_id, topic, partition)
+
+    def lag(self) -> int:
+        """Total lag of this consumer's assignment (for monitoring)."""
+        total = 0
+        for topic, partition in self.assignment():
+            end = self._cluster.end_offsets(topic)[partition]
+            total += max(0, end - self.position(topic, partition))
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def _maybe_rejoin(self) -> None:
+        """Refresh the assignment if the group has rebalanced underneath us."""
+        current = self._cluster.groups.generation(self.config.group_id)
+        if current != self._generation:
+            assignment = self._cluster.groups.assignment(
+                self.config.group_id, self._member_id
+            )
+            with self._lock:
+                self._generation = current
+                self._assignment = list(assignment)
+                for tp in self._assignment:
+                    if tp not in self._positions:
+                        committed = self._cluster.offsets.committed(
+                            self.config.group_id, tp[0], tp[1]
+                        )
+                        if committed is not None:
+                            self._positions[tp] = committed
+                        elif self.config.auto_offset_reset == "latest":
+                            self._positions[tp] = self._cluster.end_offsets(tp[0])[tp[1]]
+                        else:
+                            self._positions[tp] = self._cluster.beginning_offsets(tp[0])[tp[1]]
+
+    def close(self) -> None:
+        """Commit (if auto-commit) and leave the group."""
+        if self._closed:
+            return
+        if self.config.enable_auto_commit:
+            try:
+                self.commit()
+            except CommitFailedError:
+                pass
+        self._cluster.groups.leave(
+            self.config.group_id, self._member_id, self._all_partitions()
+        )
+        self._closed = True
+
+    def __enter__(self) -> "FabricConsumer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("consumer is closed")

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the event fabric.
+
+Mirrors the error classes a Kafka client distinguishes between: retriable
+transport/leadership errors versus fatal configuration or authorization
+errors.  The Octopus SDK producer (Section IV-F of the paper) retries a
+configurable number of times on retriable errors before surfacing the
+failure to the caller.
+"""
+
+from __future__ import annotations
+
+
+class FabricError(Exception):
+    """Base class for all event-fabric errors."""
+
+    #: Whether a client may transparently retry the failed operation.
+    retriable: bool = False
+
+
+class UnknownTopicError(FabricError):
+    """The requested topic does not exist on the cluster."""
+
+
+class UnknownPartitionError(FabricError):
+    """The requested partition index does not exist for the topic."""
+
+
+class TopicAlreadyExistsError(FabricError):
+    """Attempted to create a topic whose name is already registered."""
+
+
+class NotLeaderError(FabricError):
+    """The broker contacted is not the leader for the partition.
+
+    Retriable: clients refresh metadata and retry against the new leader.
+    """
+
+    retriable = True
+
+
+class NotEnoughReplicasError(FabricError):
+    """``acks="all"`` was requested but the ISR is below ``min.insync.replicas``."""
+
+    retriable = True
+
+
+class BrokerUnavailableError(FabricError):
+    """The broker is offline (failure injection or administrative stop)."""
+
+    retriable = True
+
+
+class AuthorizationError(FabricError):
+    """The principal is not authorized for the operation on the resource."""
+
+
+class OffsetOutOfRangeError(FabricError):
+    """A fetch requested an offset below the log start or above the end."""
+
+
+class RecordTooLargeError(FabricError):
+    """A record exceeds the topic's ``max.message.bytes`` limit."""
+
+
+class InvalidConfigError(FabricError):
+    """A topic, producer or consumer configuration value is invalid."""
+
+
+class RebalanceInProgressError(FabricError):
+    """The consumer group is rebalancing; the member must rejoin."""
+
+    retriable = True
+
+
+class IllegalGenerationError(FabricError):
+    """A consumer presented a stale group generation id."""
+
+    retriable = True
+
+
+class CommitFailedError(FabricError):
+    """An offset commit was rejected (stale member or generation)."""

@@ -1,0 +1,88 @@
+"""Committed-offset storage for consumer groups.
+
+Offset commits are what give Octopus its at-least-once delivery guarantee
+(Section IV-F): a consumer that crashes after processing but before
+committing will re-read the uncommitted records when it (or another group
+member) takes over the partition.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CommittedOffset:
+    """A single committed position for (group, topic, partition)."""
+
+    offset: int
+    metadata: str = ""
+    commit_time: float = 0.0
+
+
+class OffsetStore:
+    """Thread-safe store of committed offsets, keyed by consumer group."""
+
+    def __init__(self) -> None:
+        self._offsets: Dict[Tuple[str, str, int], CommittedOffset] = {}
+        self._lock = threading.RLock()
+
+    def commit(
+        self,
+        group_id: str,
+        topic: str,
+        partition: int,
+        offset: int,
+        metadata: str = "",
+    ) -> CommittedOffset:
+        """Record that ``group_id`` has processed everything below ``offset``."""
+        if offset < 0:
+            raise ValueError("committed offset must be >= 0")
+        committed = CommittedOffset(offset=offset, metadata=metadata, commit_time=time.time())
+        with self._lock:
+            self._offsets[(group_id, topic, partition)] = committed
+        return committed
+
+    def committed(self, group_id: str, topic: str, partition: int) -> Optional[int]:
+        """Last committed offset, or ``None`` if the group never committed."""
+        with self._lock:
+            entry = self._offsets.get((group_id, topic, partition))
+            return entry.offset if entry is not None else None
+
+    def committed_entry(
+        self, group_id: str, topic: str, partition: int
+    ) -> Optional[CommittedOffset]:
+        with self._lock:
+            return self._offsets.get((group_id, topic, partition))
+
+    def group_offsets(self, group_id: str) -> Dict[Tuple[str, int], int]:
+        """All committed offsets for a group, keyed by (topic, partition)."""
+        with self._lock:
+            return {
+                (topic, partition): entry.offset
+                for (gid, topic, partition), entry in self._offsets.items()
+                if gid == group_id
+            }
+
+    def reset_group(self, group_id: str, topic: Optional[str] = None) -> int:
+        """Delete commits for a group (optionally only one topic); return count."""
+        with self._lock:
+            keys = [
+                key
+                for key in self._offsets
+                if key[0] == group_id and (topic is None or key[1] == topic)
+            ]
+            for key in keys:
+                del self._offsets[key]
+            return len(keys)
+
+    def lag(
+        self, group_id: str, topic: str, partition: int, log_end_offset: int
+    ) -> int:
+        """Consumer lag: records appended but not yet committed by the group."""
+        committed = self.committed(group_id, topic, partition)
+        position = committed if committed is not None else 0
+        return max(0, log_end_offset - position)

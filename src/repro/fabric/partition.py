@@ -1,0 +1,219 @@
+"""Append-only partition logs.
+
+A partition is the unit of ordering, parallelism and replication in the
+fabric.  Each partition is a strictly ordered, append-only log of
+:class:`~repro.fabric.record.StoredRecord`; offsets are assigned
+contiguously starting from the log start offset.  Retention and compaction
+may advance the log start offset, but never reorder or renumber records.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.fabric.errors import OffsetOutOfRangeError, RecordTooLargeError
+from repro.fabric.record import EventRecord, StoredRecord
+
+
+class PartitionLog:
+    """A single partition's log, with thread-safe append and fetch.
+
+    Parameters
+    ----------
+    topic:
+        Topic name (used only for error messages and metrics labels).
+    partition:
+        Partition index within the topic.
+    max_message_bytes:
+        Per-record size limit; appends of larger records raise
+        :class:`~repro.fabric.errors.RecordTooLargeError`.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        *,
+        max_message_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
+        self.topic = topic
+        self.partition = partition
+        self.max_message_bytes = int(max_message_bytes)
+        self._records: list[StoredRecord] = []
+        self._log_start_offset = 0
+        self._next_offset = 0
+        self._lock = threading.RLock()
+        self._total_appended = 0
+        self._total_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Offsets
+    # ------------------------------------------------------------------ #
+    @property
+    def log_start_offset(self) -> int:
+        """First offset still retained in the log."""
+        with self._lock:
+            return self._log_start_offset
+
+    @property
+    def log_end_offset(self) -> int:
+        """Offset that the *next* appended record will receive."""
+        with self._lock:
+            return self._next_offset
+
+    @property
+    def high_watermark(self) -> int:
+        """Highest offset exposed to consumers (== log end in this model)."""
+        return self.log_end_offset
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total bytes currently retained."""
+        with self._lock:
+            return sum(r.size_bytes() for r in self._records)
+
+    @property
+    def total_appended(self) -> int:
+        """Number of records appended over the log's lifetime."""
+        with self._lock:
+            return self._total_appended
+
+    @property
+    def total_bytes_appended(self) -> int:
+        with self._lock:
+            return self._total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Append / fetch
+    # ------------------------------------------------------------------ #
+    def append(self, record: EventRecord, append_time: Optional[float] = None) -> int:
+        """Append ``record`` and return the offset it was assigned."""
+        size = record.size_bytes()
+        if size > self.max_message_bytes:
+            raise RecordTooLargeError(
+                f"record of {size} B exceeds max.message.bytes="
+                f"{self.max_message_bytes} for {self.topic}-{self.partition}"
+            )
+        with self._lock:
+            offset = self._next_offset
+            stored = StoredRecord(
+                offset=offset,
+                record=record,
+                append_time=append_time if append_time is not None else time.time(),
+            )
+            self._records.append(stored)
+            self._next_offset += 1
+            self._total_appended += 1
+            self._total_bytes += size
+            return offset
+
+    def append_batch(
+        self, records: Iterable[EventRecord], append_time: Optional[float] = None
+    ) -> list[int]:
+        """Append every record in ``records``; return their offsets in order."""
+        return [self.append(record, append_time=append_time) for record in records]
+
+    def fetch(
+        self,
+        offset: int,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+    ) -> list[StoredRecord]:
+        """Return up to ``max_records`` records starting at ``offset``.
+
+        Fetching exactly at the log end returns an empty list (the consumer
+        is caught up).  Fetching below the log start or beyond the end
+        raises :class:`OffsetOutOfRangeError`, matching Kafka semantics.
+        """
+        with self._lock:
+            if offset == self._next_offset:
+                return []
+            if offset < self._log_start_offset or offset > self._next_offset:
+                raise OffsetOutOfRangeError(
+                    f"offset {offset} out of range "
+                    f"[{self._log_start_offset}, {self._next_offset}] "
+                    f"for {self.topic}-{self.partition}"
+                )
+            index = self._index_of(offset)
+            out: list[StoredRecord] = []
+            budget = max_bytes if max_bytes is not None else float("inf")
+            for stored in self._records[index:]:
+                if len(out) >= max_records:
+                    break
+                size = stored.size_bytes()
+                if out and size > budget:
+                    break
+                out.append(stored)
+                budget -= size
+            return out
+
+    def read_all(self) -> Sequence[StoredRecord]:
+        """Snapshot of every retained record (testing/persistence helper)."""
+        with self._lock:
+            return tuple(self._records)
+
+    def __iter__(self) -> Iterator[StoredRecord]:
+        return iter(self.read_all())
+
+    def offset_for_timestamp(self, timestamp: float) -> Optional[int]:
+        """Earliest offset whose record timestamp is >= ``timestamp``.
+
+        Supports the "consume after a certain timestamp" mode described in
+        Section IV-F.  Returns ``None`` when every retained record is older.
+        """
+        with self._lock:
+            timestamps = [r.record.timestamp for r in self._records]
+            index = bisect.bisect_left(timestamps, timestamp)
+            if index >= len(self._records):
+                return None
+            return self._records[index].offset
+
+    # ------------------------------------------------------------------ #
+    # Retention / compaction hooks
+    # ------------------------------------------------------------------ #
+    def truncate_before(self, offset: int) -> int:
+        """Drop records with offsets strictly below ``offset``.
+
+        Returns the number of records removed.  Used by time/size retention.
+        """
+        with self._lock:
+            offset = max(offset, self._log_start_offset)
+            offset = min(offset, self._next_offset)
+            index = self._index_of(offset) if offset < self._next_offset else len(self._records)
+            removed = index
+            if removed > 0:
+                self._records = self._records[index:]
+            self._log_start_offset = offset
+            return removed
+
+    def replace_records(self, records: Sequence[StoredRecord]) -> None:
+        """Replace the retained records (compaction).  Offsets must be sorted."""
+        with self._lock:
+            offsets = [r.offset for r in records]
+            if offsets != sorted(offsets):
+                raise ValueError("compacted records must stay offset-ordered")
+            if records:
+                if records[0].offset < self._log_start_offset:
+                    raise ValueError("compaction may not resurrect truncated offsets")
+                if records[-1].offset >= self._next_offset:
+                    raise ValueError("compaction may not invent future offsets")
+            self._records = list(records)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _index_of(self, offset: int) -> int:
+        """Index in ``self._records`` of the first record with offset >= ``offset``."""
+        lo = offset - self._log_start_offset
+        # Fast path: no gaps means direct indexing; compaction introduces gaps.
+        if 0 <= lo < len(self._records) and self._records[lo].offset == offset:
+            return lo
+        offsets = [r.offset for r in self._records]
+        return bisect.bisect_left(offsets, offset)

@@ -1,0 +1,221 @@
+"""Producer client for the event fabric.
+
+Implements the client-side behaviours the Octopus SDK exposes
+(Section IV-E/IV-F): configurable acknowledgements, bounded buffering
+(``buffer.memory``), batching per partition, automatic retries on
+retriable errors, and an asynchronous ``flush``.  The producer talks to a
+:class:`~repro.fabric.cluster.FabricCluster` directly; when used through
+the SDK the cluster handle is obtained via the Octopus Web Service after
+authentication.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.errors import FabricError
+from repro.fabric.partitioner import Partitioner
+from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
+
+
+@dataclass(frozen=True)
+class ProducerConfig:
+    """Client configuration, mirroring the Kafka producer options the paper tunes.
+
+    The evaluation (Section V-B) reduces ``buffer.memory`` to 256 KB to
+    optimise throughput/latency; that is the default here as well.
+    """
+
+    acks: object = 1
+    retries: int = 3
+    retry_backoff_seconds: float = 0.05
+    buffer_memory_bytes: int = 256 * 1024
+    batch_max_bytes: int = 64 * 1024
+    linger_seconds: float = 0.0
+    client_id: str = "octopus-producer"
+
+    def validate(self) -> None:
+        if self.acks not in (0, 1, "all", "0", "1"):
+            raise ValueError(f"acks must be 0, 1 or 'all', got {self.acks!r}")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.buffer_memory_bytes <= 0:
+            raise ValueError("buffer_memory_bytes must be > 0")
+
+
+@dataclass
+class ProducerMetrics:
+    """Counters the benchmarking operator aggregates after a run."""
+
+    records_sent: int = 0
+    bytes_sent: int = 0
+    records_failed: int = 0
+    retries: int = 0
+    send_latencies: List[float] = field(default_factory=list)
+
+    def record_send(self, size: int, latency: float) -> None:
+        self.records_sent += 1
+        self.bytes_sent += size
+        self.send_latencies.append(latency)
+
+
+class FabricProducer:
+    """Publishes events to the fabric with retries and batching."""
+
+    def __init__(
+        self,
+        cluster: FabricCluster,
+        config: Optional[ProducerConfig] = None,
+        *,
+        principal: Optional[str] = None,
+        sleep_fn: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config or ProducerConfig()
+        self.config.validate()
+        self._cluster = cluster
+        self._principal = principal
+        self._partitioner = Partitioner()
+        self._sleep = sleep_fn
+        self._lock = threading.RLock()
+        self._pending: Dict[tuple[str, int], RecordBatch] = {}
+        self._buffered_bytes = 0
+        self._closed = False
+        self.metrics = ProducerMetrics()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        topic: str,
+        value: Any,
+        *,
+        key: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+        partition: Optional[int] = None,
+        timestamp: Optional[float] = None,
+    ) -> RecordMetadata:
+        """Publish a single event synchronously and return its metadata.
+
+        Retries transparently on retriable fabric errors up to
+        ``config.retries`` times, as the SDK producer does.
+        """
+        self._ensure_open()
+        record = EventRecord(
+            value=value,
+            key=key,
+            headers=dict(headers or {}),
+            timestamp=timestamp if timestamp is not None else time.time(),
+        )
+        target = self._select_partition(topic, key, partition)
+        return self._send_with_retries(topic, target, record)
+
+    def send_batch(
+        self,
+        topic: str,
+        values: List[Any],
+        *,
+        key: Any = None,
+        partition: Optional[int] = None,
+    ) -> List[RecordMetadata]:
+        """Publish several events; returns metadata in input order."""
+        return [self.send(topic, value, key=key, partition=partition) for value in values]
+
+    def buffer(self, topic: str, value: Any, *, key: Any = None,
+               partition: Optional[int] = None) -> None:
+        """Queue an event locally; delivery happens on :meth:`flush`.
+
+        This is the asynchronous path used by the Parsl monitoring
+        application (Section VI-E) to batch events and publish them off the
+        task critical path.  Raises ``BufferError`` when ``buffer.memory``
+        would be exceeded.
+        """
+        self._ensure_open()
+        record = EventRecord(value=value, key=key)
+        size = record.size_bytes()
+        with self._lock:
+            if self._buffered_bytes + size > self.config.buffer_memory_bytes:
+                raise BufferError(
+                    f"producer buffer full ({self._buffered_bytes} B buffered, "
+                    f"limit {self.config.buffer_memory_bytes} B); call flush()"
+                )
+            target = self._select_partition(topic, key, partition)
+            batch_key = (topic, target)
+            batch = self._pending.get(batch_key)
+            if batch is None or not batch.try_append(record):
+                batch = RecordBatch(topic, target, max_bytes=self.config.batch_max_bytes)
+                batch.try_append(record)
+                self._pending[batch_key] = batch
+                # Any displaced full batch is sent immediately.
+            self._buffered_bytes += size
+
+    def flush(self) -> List[RecordMetadata]:
+        """Deliver every buffered event; returns metadata for all of them."""
+        with self._lock:
+            pending = list(self._pending.items())
+            self._pending.clear()
+            self._buffered_bytes = 0
+        out: List[RecordMetadata] = []
+        for (topic, partition), batch in pending:
+            for record in batch:
+                out.append(self._send_with_retries(topic, partition, record))
+        return out
+
+    @property
+    def buffered_bytes(self) -> int:
+        with self._lock:
+            return self._buffered_bytes
+
+    def close(self) -> None:
+        """Flush outstanding events and refuse further sends."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    def __enter__(self) -> "FabricProducer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("producer is closed")
+
+    def _select_partition(self, topic: str, key: Any, explicit: Optional[int]) -> int:
+        num_partitions = self._cluster.topic(topic).num_partitions
+        return self._partitioner.partition(key, num_partitions, explicit=explicit)
+
+    def _send_with_retries(
+        self, topic: str, partition: int, record: EventRecord
+    ) -> RecordMetadata:
+        attempts = 0
+        start = time.perf_counter()
+        while True:
+            try:
+                metadata = self._cluster.append(
+                    topic,
+                    partition,
+                    record,
+                    acks=self.config.acks,
+                    principal=self._principal,
+                )
+                self.metrics.record_send(
+                    metadata.serialized_size, time.perf_counter() - start
+                )
+                return metadata
+            except FabricError as exc:
+                if not exc.retriable or attempts >= self.config.retries:
+                    self.metrics.records_failed += 1
+                    raise
+                attempts += 1
+                self.metrics.retries += 1
+                self._sleep(self.config.retry_backoff_seconds * attempts)

@@ -1,0 +1,179 @@
+"""Event records, record batches and produce metadata.
+
+Events in Octopus are Kafka records: an optional key, a value payload,
+optional headers and a timestamp.  Scientific events (Section III of the
+paper) range from 32 B telemetry samples to multi-kilobyte instrument
+snapshots, so the record type tracks its serialized size explicitly — the
+performance model and the broker quotas are driven by it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.fabric.serde import serialized_size
+
+_record_counter = itertools.count()
+
+
+def _next_record_id() -> int:
+    return next(_record_counter)
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A single event published to (or fetched from) the fabric.
+
+    Parameters
+    ----------
+    value:
+        The event payload.  Any JSON-serializable object, ``bytes`` or
+        ``str``.
+    key:
+        Optional partitioning key.  Records with the same key are routed
+        to the same partition and therefore totally ordered.
+    headers:
+        Optional string-to-string metadata (e.g. ``source``, schema id).
+    timestamp:
+        Producer-side timestamp in seconds since the epoch.
+    """
+
+    value: Any
+    key: Any = None
+    headers: Mapping[str, str] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+    record_id: int = field(default_factory=_next_record_id)
+
+    def size_bytes(self) -> int:
+        """Approximate on-the-wire size of the record in bytes."""
+        size = serialized_size(self.value)
+        if self.key is not None:
+            size += serialized_size(self.key)
+        for name, val in self.headers.items():
+            size += len(name) + serialized_size(val)
+        # Fixed per-record framing overhead (offset, length, crc, attrs).
+        return size + 24
+
+    def with_headers(self, **headers: str) -> "EventRecord":
+        """Return a copy of the record with additional headers merged in."""
+        merged = dict(self.headers)
+        merged.update(headers)
+        return EventRecord(
+            value=self.value,
+            key=self.key,
+            headers=merged,
+            timestamp=self.timestamp,
+            record_id=self.record_id,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view used by the trigger substrate and persistence."""
+        return {
+            "key": self.key,
+            "value": self.value,
+            "headers": dict(self.headers),
+            "timestamp": self.timestamp,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EventRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            value=data.get("value"),
+            key=data.get("key"),
+            headers=dict(data.get("headers", {})),
+            timestamp=float(data.get("timestamp", time.time())),
+        )
+
+    def to_json(self) -> str:
+        """JSON representation (used by the persistence connector)."""
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """A record as it sits in a partition log: record plus assigned offset."""
+
+    offset: int
+    record: EventRecord
+    append_time: float
+
+    @property
+    def value(self) -> Any:
+        return self.record.value
+
+    @property
+    def key(self) -> Any:
+        return self.record.key
+
+    @property
+    def timestamp(self) -> float:
+        return self.record.timestamp
+
+    def size_bytes(self) -> int:
+        return self.record.size_bytes()
+
+
+@dataclass(frozen=True)
+class RecordMetadata:
+    """Metadata returned to a producer after a successful append."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    serialized_size: int
+
+
+class RecordBatch:
+    """A producer-side batch of records destined for one topic partition.
+
+    The SDK producer accumulates records per partition and ships them as a
+    batch; batching is what lets remote (high-RTT) clients approach the
+    throughput of local clients in the paper's evaluation.
+    """
+
+    def __init__(self, topic: str, partition: int, max_bytes: int = 1 << 20) -> None:
+        self.topic = topic
+        self.partition = partition
+        self.max_bytes = int(max_bytes)
+        self._records: list[EventRecord] = []
+        self._size = 0
+        self.created_at = time.time()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self._records)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size
+
+    def try_append(self, record: EventRecord) -> bool:
+        """Append ``record`` if it fits; return ``False`` when the batch is full.
+
+        An empty batch always accepts one record even if it exceeds
+        ``max_bytes`` — oversize rejection is the broker's job.
+        """
+        record_size = record.size_bytes()
+        if self._records and self._size + record_size > self.max_bytes:
+            return False
+        self._records.append(record)
+        self._size += record_size
+        return True
+
+    def records(self) -> Sequence[EventRecord]:
+        return tuple(self._records)
+
+    @classmethod
+    def of(cls, topic: str, partition: int, records: Iterable[EventRecord]) -> "RecordBatch":
+        batch = cls(topic, partition, max_bytes=1 << 62)
+        for record in records:
+            batch.try_append(record)
+        return batch

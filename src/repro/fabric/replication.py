@@ -1,0 +1,164 @@
+"""Partition replication and in-sync replica (ISR) tracking.
+
+Each topic partition is assigned to ``replication_factor`` brokers; one of
+them is the leader.  After every leader append the replication manager
+pushes the new records to the online followers and recomputes the ISR.
+``acks=all`` produces succeed only when the ISR (leader included) is at
+least ``min.insync.replicas``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.fabric.broker import Broker
+from repro.fabric.errors import BrokerUnavailableError, NotEnoughReplicasError
+
+
+@dataclass
+class PartitionAssignment:
+    """Replica placement and leadership for one topic partition."""
+
+    topic: str
+    partition: int
+    replicas: List[int]
+    leader: int
+    isr: List[int] = field(default_factory=list)
+    leader_epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.leader not in self.replicas:
+            raise ValueError("leader must be one of the assigned replicas")
+        if not self.isr:
+            self.isr = list(self.replicas)
+
+    def describe(self) -> dict:
+        return {
+            "topic": self.topic,
+            "partition": self.partition,
+            "replicas": list(self.replicas),
+            "leader": self.leader,
+            "isr": list(self.isr),
+            "leader_epoch": self.leader_epoch,
+        }
+
+
+class ReplicationManager:
+    """Propagates leader appends to followers and maintains ISRs."""
+
+    def __init__(self, brokers: Dict[int, Broker]) -> None:
+        self._brokers = brokers
+        self._assignments: Dict[tuple[str, int], PartitionAssignment] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # Assignment bookkeeping
+    # ------------------------------------------------------------------ #
+    def register(self, assignment: PartitionAssignment) -> None:
+        with self._lock:
+            self._assignments[(assignment.topic, assignment.partition)] = assignment
+
+    def unregister_topic(self, topic: str) -> None:
+        with self._lock:
+            for key in [k for k in self._assignments if k[0] == topic]:
+                del self._assignments[key]
+
+    def assignment(self, topic: str, partition: int) -> PartitionAssignment:
+        with self._lock:
+            return self._assignments[(topic, partition)]
+
+    def assignments_for_topic(self, topic: str) -> List[PartitionAssignment]:
+        with self._lock:
+            return [a for (t, _), a in self._assignments.items() if t == topic]
+
+    def all_assignments(self) -> Sequence[PartitionAssignment]:
+        with self._lock:
+            return tuple(self._assignments.values())
+
+    # ------------------------------------------------------------------ #
+    # Replication data path
+    # ------------------------------------------------------------------ #
+    def replicate_from_leader(self, topic: str, partition: int) -> List[int]:
+        """Push any records missing on followers; return the new ISR."""
+        with self._lock:
+            assignment = self._assignments[(topic, partition)]
+        leader_broker = self._brokers[assignment.leader]
+        if not leader_broker.online:
+            return assignment.isr
+        leader_log = leader_broker.replica(topic, partition)
+        leader_end = leader_log.log_end_offset
+        new_isr = [assignment.leader]
+        for broker_id in assignment.replicas:
+            if broker_id == assignment.leader:
+                continue
+            follower = self._brokers[broker_id]
+            if not follower.online:
+                continue
+            follower_log = follower.create_replica(topic, partition)
+            start = follower_log.log_end_offset
+            if start < leader_end:
+                missing = leader_log.fetch(
+                    start, max_records=leader_end - start, max_bytes=None
+                )
+                follower.replicate(topic, partition, missing)
+            if follower_log.log_end_offset >= leader_end:
+                new_isr.append(broker_id)
+        with self._lock:
+            assignment.isr = new_isr
+        return new_isr
+
+    def check_min_isr(self, topic: str, partition: int, min_insync: int) -> None:
+        """Raise :class:`NotEnoughReplicasError` if the ISR is too small."""
+        isr = self.replicate_from_leader(topic, partition)
+        if len(isr) < min_insync:
+            raise NotEnoughReplicasError(
+                f"{topic}-{partition}: ISR={isr} below min.insync.replicas={min_insync}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Leader election
+    # ------------------------------------------------------------------ #
+    def elect_leader(self, topic: str, partition: int) -> Optional[int]:
+        """Elect a new leader from the ISR when the current leader is offline.
+
+        Prefers in-sync replicas; falls back to any online replica (unclean
+        election) so the partition stays available, mirroring the paper's
+        emphasis on availability for scientific workloads.  Returns the new
+        leader id, or ``None`` if every replica is offline.
+        """
+        with self._lock:
+            assignment = self._assignments[(topic, partition)]
+            current = self._brokers[assignment.leader]
+            if current.online:
+                return assignment.leader
+            candidates = [b for b in assignment.isr if self._brokers[b].online]
+            if not candidates:
+                candidates = [b for b in assignment.replicas if self._brokers[b].online]
+            if not candidates:
+                return None
+            assignment.leader = candidates[0]
+            assignment.leader_epoch += 1
+            assignment.isr = [b for b in assignment.replicas if self._brokers[b].online]
+            return assignment.leader
+
+    def handle_broker_failure(self, broker_id: int) -> List[PartitionAssignment]:
+        """Re-elect leaders for every partition led by a failed broker."""
+        affected: List[PartitionAssignment] = []
+        with self._lock:
+            assignments = list(self._assignments.values())
+        for assignment in assignments:
+            if assignment.leader == broker_id:
+                self.elect_leader(assignment.topic, assignment.partition)
+                affected.append(assignment)
+        return affected
+
+    def under_replicated_partitions(self) -> List[PartitionAssignment]:
+        """Partitions whose ISR is smaller than their replica set."""
+        out = []
+        for assignment in self.all_assignments():
+            self.replicate_from_leader(assignment.topic, assignment.partition)
+            if len(assignment.isr) < len(assignment.replicas):
+                out.append(assignment)
+        return out

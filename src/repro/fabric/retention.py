@@ -1,0 +1,94 @@
+"""Retention and compaction policies.
+
+The paper's default is seven-day time-based retention (Section IV-F);
+users can adjust retention and enable compaction through the Octopus Web
+Service.  The :class:`RetentionEnforcer` walks topic partitions and applies
+whichever policy the topic is configured with.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.fabric.partition import PartitionLog
+from repro.fabric.record import StoredRecord
+from repro.fabric.topic import Topic
+
+
+def enforce_time_retention(
+    log: PartitionLog, retention_seconds: float, now: Optional[float] = None
+) -> int:
+    """Delete records older than ``retention_seconds``; return count removed."""
+    now = now if now is not None else time.time()
+    cutoff = now - retention_seconds
+    keep_from: Optional[int] = None
+    for stored in log.read_all():
+        if stored.append_time >= cutoff:
+            keep_from = stored.offset
+            break
+    if keep_from is None:
+        # Everything is older than the cutoff.
+        return log.truncate_before(log.log_end_offset)
+    return log.truncate_before(keep_from)
+
+
+def enforce_size_retention(log: PartitionLog, retention_bytes: int) -> int:
+    """Delete oldest records until the partition is within ``retention_bytes``."""
+    removed = 0
+    records = list(log.read_all())
+    total = sum(r.size_bytes() for r in records)
+    index = 0
+    while total > retention_bytes and index < len(records):
+        total -= records[index].size_bytes()
+        index += 1
+    if index > 0:
+        removed = log.truncate_before(records[index - 1].offset + 1)
+    return removed
+
+
+def compact(log: PartitionLog) -> int:
+    """Log compaction: keep only the latest record for each key.
+
+    Records without a key are always retained (they carry no compaction
+    identity).  Returns the number of records removed.
+    """
+    records = list(log.read_all())
+    latest_for_key: Dict[str, int] = {}
+    for stored in records:
+        if stored.key is not None:
+            latest_for_key[str(stored.key)] = stored.offset
+    kept: List[StoredRecord] = [
+        stored
+        for stored in records
+        if stored.key is None or latest_for_key[str(stored.key)] == stored.offset
+    ]
+    removed = len(records) - len(kept)
+    if removed:
+        log.replace_records(kept)
+    return removed
+
+
+class RetentionEnforcer:
+    """Applies a topic's cleanup policy across all of its partitions."""
+
+    def __init__(self, now_fn=time.time) -> None:
+        self._now_fn = now_fn
+
+    def enforce(self, topic: Topic) -> Dict[int, int]:
+        """Run retention/compaction on ``topic``; return removed counts per partition."""
+        removed: Dict[int, int] = {}
+        config = topic.config
+        for index, log in topic.partitions().items():
+            count = 0
+            if config.cleanup_policy == "compact":
+                count += compact(log)
+            else:
+                if config.retention_seconds is not None:
+                    count += enforce_time_retention(
+                        log, config.retention_seconds, now=self._now_fn()
+                    )
+                if config.retention_bytes is not None:
+                    count += enforce_size_retention(log, config.retention_bytes)
+            removed[index] = count
+        return removed

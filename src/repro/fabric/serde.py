@@ -1,0 +1,76 @@
+"""Serialization helpers shared by the fabric and the SDK.
+
+Octopus imposes no event schema ("diversity of event schemata" is an
+explicit requirement in Section III-B), so values are arbitrary
+JSON-serializable objects, ``bytes`` or ``str``.  The helpers here give a
+consistent size accounting and a canonical wire form.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+__all__ = ["serialize", "deserialize", "serialized_size", "SerdeError"]
+
+
+class SerdeError(ValueError):
+    """Raised when a value cannot be serialized for the fabric."""
+
+
+def serialize(value: Any) -> bytes:
+    """Encode ``value`` into bytes for transport.
+
+    ``bytes`` pass through untouched, ``str`` is UTF-8 encoded and any
+    other object is JSON-encoded (sorted keys, so the encoding is
+    deterministic and usable as a compaction identity).
+    """
+    if value is None:
+        return b""
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, bytearray):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    try:
+        return json.dumps(value, sort_keys=True, default=str).encode("utf-8")
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise SerdeError(f"value of type {type(value)!r} is not serializable") from exc
+
+
+def deserialize(payload: bytes) -> Any:
+    """Best-effort inverse of :func:`serialize`.
+
+    Attempts JSON first and falls back to UTF-8 text, then raw bytes.
+    """
+    if not payload:
+        return None
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        try:
+            return payload.decode("utf-8")
+        except UnicodeDecodeError:
+            return payload
+
+
+def serialized_size(value: Any) -> int:
+    """Size in bytes of ``value`` once serialized.
+
+    Cheap paths for the common cases (bytes/str/int/float) avoid a full
+    JSON round trip in the hot produce path.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 5
+    if isinstance(value, int):
+        return len(str(value))
+    if isinstance(value, float):
+        return 18
+    return len(serialize(value))

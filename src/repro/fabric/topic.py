@@ -1,0 +1,184 @@
+"""Topics: named groups of partitions with configuration.
+
+The Octopus Web Service provisions topics on behalf of users and lets them
+set the replication factor, retention policy and partition count
+(Section IV-B).  A :class:`Topic` here is the broker-side object holding
+those settings and the per-partition logs; access control lives in
+:mod:`repro.auth.acl` and is enforced by the cluster front end.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.fabric.errors import InvalidConfigError, UnknownPartitionError
+from repro.fabric.partition import PartitionLog
+
+#: Default retention period (seconds) — the paper states messages are kept
+#: for seven days by default (Section IV-F).
+DEFAULT_RETENTION_SECONDS = 7 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class TopicConfig:
+    """User-settable topic configuration.
+
+    Attributes
+    ----------
+    num_partitions:
+        Number of partitions; unit of consumer parallelism.
+    replication_factor:
+        Number of brokers holding a copy of each partition.
+    retention_seconds:
+        Time-based retention; records older than this are eligible for
+        deletion.  ``None`` disables time retention.
+    retention_bytes:
+        Size-based retention per partition. ``None`` disables it.
+    cleanup_policy:
+        ``"delete"`` (default) or ``"compact"``.
+    min_insync_replicas:
+        Minimum ISR size for ``acks="all"`` produces to succeed.
+    max_message_bytes:
+        Per-record size cap.
+    persist_to_store:
+        Whether events are mirrored to the cloud object store (the red
+        "persistence" arrow in Figure 2).
+    """
+
+    num_partitions: int = 1
+    replication_factor: int = 2
+    retention_seconds: Optional[float] = DEFAULT_RETENTION_SECONDS
+    retention_bytes: Optional[int] = None
+    cleanup_policy: str = "delete"
+    min_insync_replicas: int = 1
+    max_message_bytes: int = 8 * 1024 * 1024
+    persist_to_store: bool = False
+
+    def validate(self) -> None:
+        if self.num_partitions < 1:
+            raise InvalidConfigError("num_partitions must be >= 1")
+        if self.replication_factor < 1:
+            raise InvalidConfigError("replication_factor must be >= 1")
+        if self.cleanup_policy not in ("delete", "compact"):
+            raise InvalidConfigError(
+                f"cleanup_policy must be 'delete' or 'compact', got {self.cleanup_policy!r}"
+            )
+        if self.min_insync_replicas < 1:
+            raise InvalidConfigError("min_insync_replicas must be >= 1")
+        if self.min_insync_replicas > self.replication_factor:
+            raise InvalidConfigError(
+                "min_insync_replicas cannot exceed replication_factor"
+            )
+        if self.retention_seconds is not None and self.retention_seconds < 0:
+            raise InvalidConfigError("retention_seconds must be >= 0")
+        if self.retention_bytes is not None and self.retention_bytes < 0:
+            raise InvalidConfigError("retention_bytes must be >= 0")
+        if self.max_message_bytes <= 0:
+            raise InvalidConfigError("max_message_bytes must be > 0")
+
+    def with_updates(self, **updates) -> "TopicConfig":
+        """Return a new config with ``updates`` applied and validated."""
+        cfg = replace(self, **updates)
+        cfg.validate()
+        return cfg
+
+    def to_dict(self) -> dict:
+        return {
+            "num_partitions": self.num_partitions,
+            "replication_factor": self.replication_factor,
+            "retention_seconds": self.retention_seconds,
+            "retention_bytes": self.retention_bytes,
+            "cleanup_policy": self.cleanup_policy,
+            "min_insync_replicas": self.min_insync_replicas,
+            "max_message_bytes": self.max_message_bytes,
+            "persist_to_store": self.persist_to_store,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TopicConfig":
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        cfg = cls(**{k: v for k, v in data.items() if k in known})
+        cfg.validate()
+        return cfg
+
+
+@dataclass
+class Topic:
+    """A named topic and its partition logs."""
+
+    name: str
+    config: TopicConfig = field(default_factory=TopicConfig)
+
+    def __post_init__(self) -> None:
+        self.config.validate()
+        self._lock = threading.RLock()
+        self._partitions: Dict[int, PartitionLog] = {
+            index: PartitionLog(
+                self.name, index, max_message_bytes=self.config.max_message_bytes
+            )
+            for index in range(self.config.num_partitions)
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_partitions(self) -> int:
+        with self._lock:
+            return len(self._partitions)
+
+    def partition(self, index: int) -> PartitionLog:
+        with self._lock:
+            try:
+                return self._partitions[index]
+            except KeyError:
+                raise UnknownPartitionError(
+                    f"topic {self.name!r} has no partition {index}"
+                ) from None
+
+    def partitions(self) -> Dict[int, PartitionLog]:
+        with self._lock:
+            return dict(self._partitions)
+
+    def add_partitions(self, new_total: int) -> None:
+        """Grow the topic to ``new_total`` partitions (shrinking is illegal)."""
+        with self._lock:
+            current = len(self._partitions)
+            if new_total < current:
+                raise InvalidConfigError(
+                    f"cannot reduce partitions from {current} to {new_total}"
+                )
+            for index in range(current, new_total):
+                self._partitions[index] = PartitionLog(
+                    self.name, index, max_message_bytes=self.config.max_message_bytes
+                )
+            self.config = self.config.with_updates(num_partitions=new_total)
+
+    def update_config(self, **updates) -> TopicConfig:
+        """Apply configuration updates (partition growth handled separately)."""
+        with self._lock:
+            new_partitions = updates.pop("num_partitions", None)
+            self.config = self.config.with_updates(**updates)
+            if new_partitions is not None and new_partitions != len(self._partitions):
+                self.add_partitions(new_partitions)
+            return self.config
+
+    # ------------------------------------------------------------------ #
+    def total_records(self) -> int:
+        """Records currently retained across partitions."""
+        return sum(len(p) for p in self.partitions().values())
+
+    def total_appended(self) -> int:
+        return sum(p.total_appended for p in self.partitions().values())
+
+    def end_offsets(self) -> Dict[int, int]:
+        return {i: p.log_end_offset for i, p in self.partitions().items()}
+
+    def describe(self) -> dict:
+        """Topic description as returned by ``GET /topic/<topic>``."""
+        return {
+            "name": self.name,
+            "config": self.config.to_dict(),
+            "end_offsets": self.end_offsets(),
+            "total_records": self.total_records(),
+        }

@@ -1,0 +1,22 @@
+"""Monitoring substrates used by the applications of Section VI.
+
+* :mod:`repro.monitoring.fsmon` — an FSMonitor-like parallel-filesystem
+  event source (file create/modify/delete events).
+* :mod:`repro.monitoring.aggregator` — the hierarchical local aggregator
+  that filters/deduplicates events before they reach the cloud fabric.
+* :mod:`repro.monitoring.resources` — RAPL-like energy and psutil-like
+  utilization monitors for the online task-scheduling application.
+"""
+
+from repro.monitoring.fsmon import FileSystemEvent, FileSystemMonitor
+from repro.monitoring.aggregator import LocalAggregator
+from repro.monitoring.resources import EnergyMonitor, ResourceUtilizationMonitor, ResourceSample
+
+__all__ = [
+    "FileSystemEvent",
+    "FileSystemMonitor",
+    "LocalAggregator",
+    "EnergyMonitor",
+    "ResourceUtilizationMonitor",
+    "ResourceSample",
+]

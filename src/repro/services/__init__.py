@@ -1,0 +1,20 @@
+"""Simulated external science services Octopus triggers act upon.
+
+Octopus actions are calls to remote web services: Globus Transfer for data
+movement, a funcX/Globus-Compute-like service for remote function
+execution, and cloud object storage for event persistence.  These
+stand-ins expose the same call patterns (submit → task id → status) so
+trigger handlers exercise realistic control flow.
+"""
+
+from repro.services.transfer import TransferService, TransferTask
+from repro.services.compute import ComputeService, ComputeTask
+from repro.services.storage import ObjectStore
+
+__all__ = [
+    "TransferService",
+    "TransferTask",
+    "ComputeService",
+    "ComputeTask",
+    "ObjectStore",
+]

@@ -1,0 +1,73 @@
+"""Performance simulation of the Octopus evaluation testbed.
+
+The paper evaluates Octopus on AWS MSK clusters (Table II) with local
+clients on EC2 and remote clients on Chameleon Cloud at TACC (46–47 ms
+RTT).  That testbed is not available offline, so this package provides:
+
+* :mod:`repro.simulation.kernel` — a small discrete-event simulation
+  kernel (used by workload generators and application models).
+* :mod:`repro.simulation.network` — the local/remote network model.
+* :mod:`repro.simulation.cluster_model` — broker instance specs and the
+  calibrated capacity laws of the fabric (write/read throughput as a
+  function of event size, acknowledgements, replication, partitions and
+  cluster shape).
+* :mod:`repro.simulation.client_model` — producer/consumer client models
+  and the latency model (median / 99th percentile).
+* :mod:`repro.simulation.evaluation` — experiment drivers that regenerate
+  Table III, Figure 3, Figure 5 and the Section V-D trigger-throughput
+  numbers.
+* :mod:`repro.simulation.workload` — synthetic workload generators for
+  the Table I use cases.
+
+The capacity laws are calibrated against the paper's published numbers,
+so absolute values land close by construction; what the model genuinely
+encodes (and the tests check) are the structural relationships — acks and
+replication costs, read/write asymmetry, scale-up vs. scale-out, partition
+effects and multi-tenant saturation points.
+"""
+
+from repro.simulation.kernel import SimulationKernel, Process, Resource
+from repro.simulation.network import NetworkModel, ClientLocation
+from repro.simulation.cluster_model import (
+    BrokerInstanceType,
+    ClusterSpec,
+    ClusterCapacityModel,
+    CLUSTER_CONFIGS,
+)
+from repro.simulation.client_model import (
+    ProduceWorkload,
+    LatencyModel,
+    ThroughputModel,
+)
+from repro.simulation.evaluation import (
+    Table3Row,
+    run_table3_experiment,
+    run_figure3_series,
+    run_figure5_multitenancy,
+    run_trigger_throughput,
+    TABLE3_EXPERIMENTS,
+)
+from repro.simulation.metrics import LatencyStats, ThroughputMeasurement
+
+__all__ = [
+    "SimulationKernel",
+    "Process",
+    "Resource",
+    "NetworkModel",
+    "ClientLocation",
+    "BrokerInstanceType",
+    "ClusterSpec",
+    "ClusterCapacityModel",
+    "CLUSTER_CONFIGS",
+    "ProduceWorkload",
+    "LatencyModel",
+    "ThroughputModel",
+    "Table3Row",
+    "run_table3_experiment",
+    "run_figure3_series",
+    "run_figure5_multitenancy",
+    "run_trigger_throughput",
+    "TABLE3_EXPERIMENTS",
+    "LatencyStats",
+    "ThroughputMeasurement",
+]

@@ -1,0 +1,203 @@
+"""Producer/consumer client models: offered load, throughput and latency.
+
+The evaluation (Section V-C) sweeps 20–100 producers per configuration and
+reports the peak throughput plus the median and 99th-percentile produce
+latency at that throughput.  The client model reproduces that behaviour:
+
+* each producer offers load up to a per-client limit, so aggregate
+  throughput rises with the number of producers until the cluster's
+  capacity saturates (Figure 3's x-axis);
+* median latency is the sum of a client/network base, the broker service
+  time, a queueing term that grows with utilisation, and penalties for
+  stronger acknowledgements and record-bound (tiny-event) workloads;
+* the 99th percentile adds a tail penalty that grows with the number of
+  partitions hosted per broker, matching the paper's observation that more
+  partitions raise tail latency substantially.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.cluster_model import ClusterCapacityModel, ClusterSpec
+from repro.simulation.metrics import LatencyStats
+from repro.simulation.network import ClientLocation, NetworkModel
+
+
+@dataclass(frozen=True)
+class ProduceWorkload:
+    """One produce-side experiment configuration (a row of Table III)."""
+
+    event_size_bytes: int = 1024
+    acks: object = 0
+    replication_factor: int = 2
+    partitions: int = 2
+    num_producers: int = 100
+    location: ClientLocation = ClientLocation.LOCAL
+
+    def with_producers(self, num_producers: int) -> "ProduceWorkload":
+        return ProduceWorkload(
+            event_size_bytes=self.event_size_bytes,
+            acks=self.acks,
+            replication_factor=self.replication_factor,
+            partitions=self.partitions,
+            num_producers=num_producers,
+            location=self.location,
+        )
+
+
+@dataclass(frozen=True)
+class LatencyParameters:
+    """Calibration constants of the latency model (milliseconds)."""
+
+    local_client_base_ms: float = 6.0
+    remote_rtt_fraction: float = 0.72
+    remote_extra_queue_ms: float = 8.0
+    broker_service_ms: float = 1.0
+    queue_saturation_ms: float = 34.0
+    record_bound_penalty_ms: float = 14.0
+    acks1_penalty_local_ms: float = 9.0
+    acks1_penalty_remote_ms: float = 16.0
+    acks_all_penalty_local_ms: float = 100.0
+    acks_all_penalty_remote_ms: float = 62.0
+    replication_penalty_ms_per_extra_replica: float = 4.0
+    p99_base_ms: float = 122.0
+    p99_per_extra_partition_per_broker_ms: float = 140.0
+    p99_utilisation_exponent: float = 2.0
+
+
+class ThroughputModel:
+    """Offered load vs. achieved throughput for a producer/consumer fleet."""
+
+    #: A single benchmark producer process can push roughly this many MB/s
+    #: of 1 KB events before it becomes CPU bound (calibrated so that ~80
+    #: producers saturate the baseline cluster, as in the paper's sweeps).
+    PER_PRODUCER_SHARE_AT_SATURATION = 80
+
+    def __init__(self, capacity_model: ClusterCapacityModel) -> None:
+        self.capacity = capacity_model
+
+    def produce_capacity(self, workload: ProduceWorkload) -> float:
+        return self.capacity.produce_capacity(
+            event_size_bytes=workload.event_size_bytes,
+            acks=workload.acks,
+            replication_factor=workload.replication_factor,
+            partitions=workload.partitions,
+            location=workload.location,
+        )
+
+    def offered_rate(self, workload: ProduceWorkload) -> float:
+        """Aggregate offered load of ``num_producers`` clients."""
+        per_producer = self.produce_capacity(workload) / self.PER_PRODUCER_SHARE_AT_SATURATION
+        return per_producer * workload.num_producers
+
+    def achieved_throughput(self, workload: ProduceWorkload) -> float:
+        """Events/s actually absorbed by the cluster."""
+        return min(self.offered_rate(workload), self.produce_capacity(workload))
+
+    def utilization(self, workload: ProduceWorkload) -> float:
+        capacity = self.produce_capacity(workload)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.offered_rate(workload) / capacity)
+
+    def consume_throughput(
+        self,
+        *,
+        event_size_bytes: int,
+        partitions: int,
+        location: ClientLocation,
+        num_consumers: int = 100,
+    ) -> float:
+        """Peak consume throughput (consumers read pre-populated topics)."""
+        capacity = self.capacity.consume_capacity(
+            event_size_bytes=event_size_bytes, partitions=partitions, location=location
+        )
+        per_consumer = capacity / self.PER_PRODUCER_SHARE_AT_SATURATION
+        return min(per_consumer * num_consumers, capacity)
+
+
+class LatencyModel:
+    """Median and p99 produce latency for a workload at a given utilisation."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        network: Optional[NetworkModel] = None,
+        params: Optional[LatencyParameters] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.network = network or NetworkModel()
+        self.params = params or LatencyParameters()
+
+    # ------------------------------------------------------------------ #
+    def median_latency_ms(
+        self, workload: ProduceWorkload, utilization: float, *, record_bound: bool
+    ) -> float:
+        params = self.params
+        utilization = float(np.clip(utilization, 0.0, 1.0))
+        if workload.location is ClientLocation.LOCAL:
+            base = params.local_client_base_ms
+        else:
+            base = params.remote_rtt_fraction * self.network.rtt_ms(workload.location)
+        latency = base + params.broker_service_ms
+        # Queueing grows steeply as the cluster approaches saturation, and
+        # is relieved by spreading load over more partitions, more brokers
+        # and bigger brokers.
+        relief = math.sqrt(workload.partitions / 2.0)
+        relief *= (self.cluster.num_brokers / 2.0)
+        # Remote clients are RTT-bound, so bigger brokers relieve their
+        # queueing far less than they relieve local clients (the scale-up
+        # anomaly visible in Table III).
+        vcpu_exponent = 1.0 if workload.location is ClientLocation.LOCAL else 0.3
+        relief *= (self.cluster.vcpus_per_broker / 2.0) ** vcpu_exponent
+        queue = params.queue_saturation_ms * (utilization ** 3) / max(relief, 1e-9)
+        # Higher replication keeps brokers busier, queueing slightly more.
+        queue *= (workload.replication_factor / 2.0) ** 0.5
+        latency += queue
+        if workload.location is ClientLocation.REMOTE:
+            latency += params.remote_extra_queue_ms * utilization
+        if record_bound:
+            latency += params.record_bound_penalty_ms * utilization
+        latency += self._acks_penalty(workload)
+        latency += params.replication_penalty_ms_per_extra_replica * max(
+            0, workload.replication_factor - 2
+        )
+        return latency
+
+    def p99_latency_ms(
+        self, workload: ProduceWorkload, utilization: float, *, median_ms: float
+    ) -> float:
+        params = self.params
+        partitions_per_broker = workload.partitions / self.cluster.num_brokers
+        tail = params.p99_base_ms + params.p99_per_extra_partition_per_broker_ms * max(
+            0.0, partitions_per_broker - 1.0
+        )
+        tail *= float(np.clip(utilization, 0.05, 1.0)) ** params.p99_utilisation_exponent
+        return median_ms + tail
+
+    def latency_stats(
+        self, workload: ProduceWorkload, utilization: float, *, record_bound: bool
+    ) -> LatencyStats:
+        median = self.median_latency_ms(workload, utilization, record_bound=record_bound)
+        p99 = self.p99_latency_ms(workload, utilization, median_ms=median)
+        mean = median + (p99 - median) * 0.25
+        return LatencyStats(median_ms=median, p99_ms=p99, mean_ms=mean, count=0)
+
+    # ------------------------------------------------------------------ #
+    def _acks_penalty(self, workload: ProduceWorkload) -> float:
+        params = self.params
+        local = workload.location is ClientLocation.LOCAL
+        if workload.acks in (0, "0"):
+            return 0.0
+        if workload.acks in (1, "1"):
+            return params.acks1_penalty_local_ms if local else params.acks1_penalty_remote_ms
+        if workload.acks == "all":
+            return (
+                params.acks_all_penalty_local_ms if local else params.acks_all_penalty_remote_ms
+            )
+        raise ValueError(f"unknown acks setting {workload.acks!r}")

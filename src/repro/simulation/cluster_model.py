@@ -1,0 +1,240 @@
+"""Broker instance types, cluster specifications and capacity laws.
+
+Table II of the paper defines three MSK cluster configurations:
+
+========  ==============  =================  =====  ========
+Name      Number brokers  Broker type        vCPUs  Memory
+========  ==============  =================  =====  ========
+Baseline  2               kafka.m5.large     2      8 GB
+Scale-up  2               kafka.m5.xlarge    4      16 GB
+Scale-out 4               kafka.m5.large     2      8 GB
+========  ==============  =================  =====  ========
+
+:class:`ClusterCapacityModel` turns a cluster spec plus a workload
+configuration (event size, acks, replication factor, partitions, client
+location) into aggregate produce/consume capacity, encoding the structural
+relationships measured in Section V-C:
+
+* small events are record-rate-bound, large events are byte-rate-bound;
+* consumers read roughly twice as fast as producers write, and do not pay
+  the replication cost;
+* ``acks=1`` costs ~18 % and ``acks=all`` ~67 % of produce throughput;
+* raising the replication factor from 2 to 4 costs ~23 % of write
+  throughput and leaves reads unchanged;
+* scale-out (more brokers) helps writes more than scale-up (bigger
+  brokers), and remote producers barely benefit from scale-up at all.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.simulation.network import ClientLocation
+
+
+@dataclass(frozen=True)
+class BrokerInstanceType:
+    """An MSK broker instance class."""
+
+    name: str
+    vcpus: int
+    memory_gb: int
+    hourly_cost_usd: float
+
+
+#: The instance classes used in Table II (cost from Section VII-C).
+INSTANCE_TYPES: Dict[str, BrokerInstanceType] = {
+    "kafka.m5.large": BrokerInstanceType("kafka.m5.large", vcpus=2, memory_gb=8,
+                                         hourly_cost_usd=0.0456 * 4.6),
+    "kafka.m5.xlarge": BrokerInstanceType("kafka.m5.xlarge", vcpus=4, memory_gb=16,
+                                          hourly_cost_usd=0.0456 * 9.2),
+    "kafka.t3.small": BrokerInstanceType("kafka.t3.small", vcpus=2, memory_gb=2,
+                                         hourly_cost_usd=0.0456),
+}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named cluster configuration (one row of Table II)."""
+
+    name: str
+    num_brokers: int
+    instance_type: str
+
+    @property
+    def instance(self) -> BrokerInstanceType:
+        return INSTANCE_TYPES[self.instance_type]
+
+    @property
+    def vcpus_per_broker(self) -> int:
+        return self.instance.vcpus
+
+    @property
+    def memory_gb_per_broker(self) -> int:
+        return self.instance.memory_gb
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "num_brokers": self.num_brokers,
+            "broker_type": self.instance_type,
+            "vcpus_per_broker": self.vcpus_per_broker,
+            "memory_per_broker_gb": self.memory_gb_per_broker,
+        }
+
+
+#: Table II, verbatim.
+CLUSTER_CONFIGS: Dict[str, ClusterSpec] = {
+    "baseline": ClusterSpec("baseline", num_brokers=2, instance_type="kafka.m5.large"),
+    "scale-up": ClusterSpec("scale-up", num_brokers=2, instance_type="kafka.m5.xlarge"),
+    "scale-out": ClusterSpec("scale-out", num_brokers=4, instance_type="kafka.m5.large"),
+}
+
+
+@dataclass(frozen=True)
+class CapacityParameters:
+    """Calibration constants of the capacity laws.
+
+    The reference configuration is the Table II *baseline* cluster with
+    replication factor 2, two partitions and local clients.
+    """
+
+    # Produce-side reference limits (events/s and bytes/s at the reference).
+    write_record_limit: float = 4.29e6
+    write_byte_limit: float = 200.0e6
+    # Consume-side reference limits.
+    read_record_limit: float = 9.84e6
+    read_byte_limit: float = 365.0e6
+    # Scaling exponents.
+    write_broker_exponent: float = 0.75
+    write_vcpu_exponent_local: float = 0.30
+    write_vcpu_exponent_remote: float = 0.05
+    read_broker_exponent: float = 1.0
+    read_vcpu_exponent: float = 1.0
+    replication_exponent: float = 0.375
+    # Partition bonus (log2-scaled around the 2-partition reference).
+    partition_bonus: float = 0.05
+    single_partition_penalty: float = 0.95
+    # Acknowledgement throughput factors (acks=0 is the reference).
+    acks1_factor: float = 0.82
+    acks_all_factor: float = 0.33
+    # Remote clients achieve slightly lower produce and slightly higher
+    # consume throughput than local clients (Table III).
+    remote_write_factor: float = 0.925
+    remote_read_factor: float = 1.03
+
+
+class ClusterCapacityModel:
+    """Aggregate produce/consume capacity for a cluster and workload."""
+
+    def __init__(self, spec: ClusterSpec, params: Optional[CapacityParameters] = None) -> None:
+        self.spec = spec
+        self.params = params or CapacityParameters()
+
+    # ------------------------------------------------------------------ #
+    # Shared factors
+    # ------------------------------------------------------------------ #
+    def _partition_factor(self, partitions: int) -> float:
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        if partitions == 1:
+            return self.params.single_partition_penalty
+        return 1.0 + self.params.partition_bonus * math.log2(partitions / 2.0)
+
+    def _acks_factor(self, acks: object) -> float:
+        if acks in (0, "0"):
+            return 1.0
+        if acks in (1, "1"):
+            return self.params.acks1_factor
+        if acks == "all":
+            return self.params.acks_all_factor
+        raise ValueError(f"acks must be 0, 1 or 'all', got {acks!r}")
+
+    # ------------------------------------------------------------------ #
+    # Produce capacity
+    # ------------------------------------------------------------------ #
+    def produce_capacity(
+        self,
+        *,
+        event_size_bytes: int,
+        acks: object = 0,
+        replication_factor: int = 2,
+        partitions: int = 2,
+        location: "str | ClientLocation" = ClientLocation.LOCAL,
+    ) -> float:
+        """Peak aggregate produce throughput in events/second."""
+        if event_size_bytes <= 0:
+            raise ValueError("event_size_bytes must be > 0")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
+        params = self.params
+        location = ClientLocation.parse(location)
+        record_bound = params.write_record_limit
+        byte_bound = params.write_byte_limit / float(event_size_bytes)
+        base = min(record_bound, byte_bound)
+        broker_factor = (self.spec.num_brokers / 2.0) ** params.write_broker_exponent
+        vcpu_exponent = (
+            params.write_vcpu_exponent_local
+            if location is ClientLocation.LOCAL
+            else params.write_vcpu_exponent_remote
+        )
+        vcpu_factor = (self.spec.vcpus_per_broker / 2.0) ** vcpu_exponent
+        rf_factor = (2.0 / replication_factor) ** params.replication_exponent
+        location_factor = 1.0 if location is ClientLocation.LOCAL else params.remote_write_factor
+        return (
+            base
+            * broker_factor
+            * vcpu_factor
+            * rf_factor
+            * self._partition_factor(partitions)
+            * self._acks_factor(acks)
+            * location_factor
+        )
+
+    def produce_is_record_bound(self, event_size_bytes: int) -> bool:
+        """Whether the produce path is limited by record rate (tiny events)."""
+        return self.params.write_record_limit < self.params.write_byte_limit / float(
+            event_size_bytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Consume capacity
+    # ------------------------------------------------------------------ #
+    def consume_capacity(
+        self,
+        *,
+        event_size_bytes: int,
+        partitions: int = 2,
+        location: "str | ClientLocation" = ClientLocation.LOCAL,
+    ) -> float:
+        """Peak aggregate consume throughput in events/second.
+
+        Reads are served from leaders without replication amplification, so
+        neither ``acks`` nor the replication factor appears here.
+        """
+        if event_size_bytes <= 0:
+            raise ValueError("event_size_bytes must be > 0")
+        params = self.params
+        location = ClientLocation.parse(location)
+        base = min(
+            params.read_record_limit, params.read_byte_limit / float(event_size_bytes)
+        )
+        broker_factor = (self.spec.num_brokers / 2.0) ** params.read_broker_exponent
+        vcpu_factor = (self.spec.vcpus_per_broker / 2.0) ** params.read_vcpu_exponent
+        location_factor = 1.0 if location is ClientLocation.LOCAL else params.remote_read_factor
+        return (
+            base
+            * broker_factor
+            * vcpu_factor
+            * self._partition_factor(partitions)
+            * location_factor
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cost model (Section VII-C)
+    # ------------------------------------------------------------------ #
+    def monthly_broker_cost_usd(self) -> float:
+        """Cloud cost of just the broker instances for a month (730 h)."""
+        return self.spec.num_brokers * self.spec.instance.hourly_cost_usd * 730.0

@@ -1,0 +1,315 @@
+"""Experiment drivers that regenerate the paper's evaluation artefacts.
+
+* :data:`TABLE3_EXPERIMENTS` — the nine configurations of Table III.
+* :func:`run_table3_experiment` — one Table III row (local + remote
+  producer/consumer throughput, median and p99 latency).
+* :func:`run_figure3_series` — latency vs. throughput for configurations
+  1–6 on the baseline cluster with remote producers, sweeping 20–100
+  producers (Figure 3).
+* :func:`run_figure5_multitenancy` — producer/consumer throughput vs.
+  number of topics on the scale-out cluster (Figure 5).
+* :func:`run_trigger_throughput` — trigger consumer throughput vs. event
+  size and partition count (the in-text numbers of Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.simulation.client_model import (
+    LatencyModel,
+    ProduceWorkload,
+    ThroughputModel,
+)
+from repro.simulation.cluster_model import (
+    CLUSTER_CONFIGS,
+    ClusterCapacityModel,
+    ClusterSpec,
+)
+from repro.simulation.metrics import LatencyStats
+from repro.simulation.network import ClientLocation
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment of Table III."""
+
+    index: int
+    cluster: str
+    replication_factor: int
+    partitions: int
+    acks: object
+    event_size_bytes: int
+
+    @property
+    def cluster_spec(self) -> ClusterSpec:
+        return CLUSTER_CONFIGS[self.cluster]
+
+    def label(self) -> str:
+        size = (
+            f"{self.event_size_bytes} B"
+            if self.event_size_bytes < 1024
+            else f"{self.event_size_bytes // 1024} KB"
+        )
+        return f"#{self.index} {self.cluster} rf={self.replication_factor} " \
+               f"p={self.partitions} acks={self.acks} {size}"
+
+
+#: Table III, experiments #1–#9.
+TABLE3_EXPERIMENTS: List[ExperimentConfig] = [
+    ExperimentConfig(1, "baseline", 2, 2, 0, 32),
+    ExperimentConfig(2, "baseline", 2, 2, 0, 1024),
+    ExperimentConfig(3, "baseline", 2, 2, 1, 1024),
+    ExperimentConfig(4, "baseline", 2, 2, "all", 1024),
+    ExperimentConfig(5, "baseline", 2, 2, 0, 4096),
+    ExperimentConfig(6, "baseline", 2, 4, 0, 1024),
+    ExperimentConfig(7, "scale-up", 2, 4, 0, 1024),
+    ExperimentConfig(8, "scale-out", 2, 4, 0, 1024),
+    ExperimentConfig(9, "scale-out", 4, 4, 0, 1024),
+]
+
+#: Producer counts swept for each experiment (Section V-C, Figure 3).
+PRODUCER_SWEEP: Sequence[int] = (20, 40, 60, 80, 100)
+
+
+@dataclass(frozen=True)
+class ClientSideResult:
+    """Producer/consumer results for one client location."""
+
+    producer_throughput: float
+    median_latency_ms: float
+    p99_latency_ms: float
+    consumer_throughput: float
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table III (local and remote client results)."""
+
+    config: ExperimentConfig
+    local: ClientSideResult
+    remote: ClientSideResult
+
+    def as_dict(self) -> dict:
+        return {
+            "exp": self.config.index,
+            "cluster": self.config.cluster,
+            "rep_factor": self.config.replication_factor,
+            "partitions": self.config.partitions,
+            "acks": self.config.acks,
+            "event_size": self.config.event_size_bytes,
+            "local_prod_thru": self.local.producer_throughput,
+            "local_med_lat_ms": self.local.median_latency_ms,
+            "local_p99_lat_ms": self.local.p99_latency_ms,
+            "local_cons_thru": self.local.consumer_throughput,
+            "remote_prod_thru": self.remote.producer_throughput,
+            "remote_med_lat_ms": self.remote.median_latency_ms,
+            "remote_p99_lat_ms": self.remote.p99_latency_ms,
+            "remote_cons_thru": self.remote.consumer_throughput,
+        }
+
+
+def _client_result(
+    config: ExperimentConfig,
+    location: ClientLocation,
+    *,
+    num_producers: int = 100,
+) -> ClientSideResult:
+    capacity_model = ClusterCapacityModel(config.cluster_spec)
+    throughput_model = ThroughputModel(capacity_model)
+    latency_model = LatencyModel(config.cluster_spec)
+    workload = ProduceWorkload(
+        event_size_bytes=config.event_size_bytes,
+        acks=config.acks,
+        replication_factor=config.replication_factor,
+        partitions=config.partitions,
+        num_producers=num_producers,
+        location=location,
+    )
+    throughput = throughput_model.achieved_throughput(workload)
+    utilization = throughput_model.utilization(workload)
+    record_bound = capacity_model.produce_is_record_bound(config.event_size_bytes)
+    stats = latency_model.latency_stats(workload, utilization, record_bound=record_bound)
+    consumer = throughput_model.consume_throughput(
+        event_size_bytes=config.event_size_bytes,
+        partitions=config.partitions,
+        location=location,
+    )
+    return ClientSideResult(
+        producer_throughput=throughput,
+        median_latency_ms=stats.median_ms,
+        p99_latency_ms=stats.p99_ms,
+        consumer_throughput=consumer,
+    )
+
+
+def run_table3_experiment(config: ExperimentConfig, *, num_producers: int = 100) -> Table3Row:
+    """Run one Table III experiment (peak producer count by default)."""
+    return Table3Row(
+        config=config,
+        local=_client_result(config, ClientLocation.LOCAL, num_producers=num_producers),
+        remote=_client_result(config, ClientLocation.REMOTE, num_producers=num_producers),
+    )
+
+
+def run_full_table3(*, num_producers: int = 100) -> List[Table3Row]:
+    return [run_table3_experiment(config, num_producers=num_producers)
+            for config in TABLE3_EXPERIMENTS]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3: latency vs. throughput, configurations 1-6, remote producers
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of one Figure 3 curve."""
+
+    experiment: int
+    num_producers: int
+    throughput: float
+    median_latency_ms: float
+    p99_latency_ms: float
+
+
+def run_figure3_series(
+    *,
+    experiments: Optional[Sequence[ExperimentConfig]] = None,
+    producer_counts: Sequence[int] = PRODUCER_SWEEP,
+    location: ClientLocation = ClientLocation.REMOTE,
+) -> Dict[int, List[Figure3Point]]:
+    """Latency-vs-throughput curves for configurations 1-6 (baseline cluster)."""
+    if experiments is None:
+        experiments = [c for c in TABLE3_EXPERIMENTS if c.cluster == "baseline"]
+    series: Dict[int, List[Figure3Point]] = {}
+    for config in experiments:
+        capacity_model = ClusterCapacityModel(config.cluster_spec)
+        throughput_model = ThroughputModel(capacity_model)
+        latency_model = LatencyModel(config.cluster_spec)
+        record_bound = capacity_model.produce_is_record_bound(config.event_size_bytes)
+        points = []
+        for count in producer_counts:
+            workload = ProduceWorkload(
+                event_size_bytes=config.event_size_bytes,
+                acks=config.acks,
+                replication_factor=config.replication_factor,
+                partitions=config.partitions,
+                num_producers=count,
+                location=location,
+            )
+            throughput = throughput_model.achieved_throughput(workload)
+            utilization = throughput_model.utilization(workload)
+            stats = latency_model.latency_stats(
+                workload, utilization, record_bound=record_bound
+            )
+            points.append(
+                Figure3Point(
+                    experiment=config.index,
+                    num_producers=count,
+                    throughput=throughput,
+                    median_latency_ms=stats.median_ms,
+                    p99_latency_ms=stats.p99_ms,
+                )
+            )
+        series[config.index] = points
+    return series
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: multi-tenancy (throughput vs. number of topics)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure5Point:
+    num_topics: int
+    producer_throughput: float
+    consumer_throughput: float
+
+
+def run_figure5_multitenancy(
+    *,
+    topic_counts: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    event_size_bytes: int = 1024,
+    clients_per_side: int = 32,
+    cluster: str = "scale-out",
+) -> List[Figure5Point]:
+    """Throughput vs. topic count with one partition per topic (Figure 5).
+
+    With a single partition per topic, only ``min(T, brokers)`` brokers can
+    lead writes, so producer throughput grows until four topics and then
+    flattens at the cluster's write capacity.  Consumer throughput keeps
+    rising until around 16 topics because reads are cheaper and the 32
+    consumers are not yet limited by the brokers.
+    """
+    spec = CLUSTER_CONFIGS[cluster]
+    capacity_model = ClusterCapacityModel(spec)
+    write_capacity = capacity_model.produce_capacity(
+        event_size_bytes=event_size_bytes,
+        acks=0,
+        replication_factor=2,
+        partitions=spec.num_brokers,  # one leader partition per broker at best
+    ) * 0.86  # single-partition topics carry per-topic overhead
+    read_capacity = capacity_model.consume_capacity(
+        event_size_bytes=event_size_bytes, partitions=spec.num_brokers
+    ) * 1.07
+    points: List[Figure5Point] = []
+    read_saturation_topics = 16
+    for num_topics in topic_counts:
+        # Writes: limited by how many brokers lead a partition.
+        leader_spread = min(num_topics, spec.num_brokers) / spec.num_brokers
+        producer = write_capacity * leader_spread
+        # A single topic cannot absorb the full per-broker share.
+        if num_topics == 1:
+            producer *= 0.95
+        # Reads: each single-partition topic is drained by one consumer at a
+        # time, so throughput rises with the number of topics until the
+        # cluster's read capacity is reached (~16 topics).
+        consumer = read_capacity * min(num_topics, read_saturation_topics) / read_saturation_topics
+        points.append(
+            Figure5Point(
+                num_topics=num_topics,
+                producer_throughput=producer,
+                consumer_throughput=min(consumer, read_capacity),
+            )
+        )
+    return points
+
+
+# --------------------------------------------------------------------------- #
+# Section V-D: trigger consumer throughput
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TriggerThroughputPoint:
+    event_size_bytes: int
+    partitions: int
+    events_per_second: float
+
+
+#: Per-partition trigger consumption limits (Lambda pollers are far slower
+#: than raw consumers because every batch crosses the invocation boundary).
+_TRIGGER_RECORD_LIMIT_PER_PARTITION = 22_000.0
+_TRIGGER_BYTE_LIMIT_PER_PARTITION = 8.2e6
+_TRIGGER_PARTITION_EXPONENT = 0.862
+
+
+def run_trigger_throughput(
+    *,
+    event_sizes: Sequence[int] = (32, 1024, 4096),
+    partition_counts: Sequence[int] = (1, 8),
+) -> List[TriggerThroughputPoint]:
+    """Trigger throughput vs. event size and partitions (Section V-D)."""
+    points = []
+    for partitions in partition_counts:
+        scale = float(partitions) ** _TRIGGER_PARTITION_EXPONENT
+        for size in event_sizes:
+            per_partition = min(
+                _TRIGGER_RECORD_LIMIT_PER_PARTITION,
+                _TRIGGER_BYTE_LIMIT_PER_PARTITION / float(size),
+            )
+            points.append(
+                TriggerThroughputPoint(
+                    event_size_bytes=size,
+                    partitions=partitions,
+                    events_per_second=per_partition * scale,
+                )
+            )
+    return points

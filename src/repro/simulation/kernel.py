@@ -1,0 +1,221 @@
+"""A small discrete-event simulation kernel.
+
+Generator-based processes schedule themselves on a global event queue,
+``yield``-ing either a delay (seconds of simulated time) or a request to
+acquire a :class:`Resource` slot.  The kernel is deliberately minimal —
+just what the workload generators, application models and scaling
+simulations need — but it maintains the usual DES invariants: simulated
+time never goes backwards and events at equal timestamps run in FIFO
+order of scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+#: A process is a generator that yields delays (float seconds) or commands.
+ProcessGenerator = Generator[Any, Any, None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class Timeout:
+    """Yield value: suspend the process for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.delay = float(delay)
+
+
+class Acquire:
+    """Yield value: wait until a slot of ``resource`` becomes available."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class Release:
+    """Yield value: release a previously acquired slot of ``resource``."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource (CPU slots, broker handler threads, workers)."""
+
+    def __init__(self, kernel: "SimulationKernel", capacity: int, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.kernel = kernel
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: List[Process] = []
+        # Utilisation accounting.
+        self._busy_time = 0.0
+        self._last_change = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def _account(self) -> None:
+        now = self.kernel.now
+        self._busy_time += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Average fraction of capacity in use since simulation start."""
+        self._account()
+        elapsed = horizon if horizon is not None else self.kernel.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_time / (self.capacity * elapsed)
+
+    # Internal: called by the kernel.
+    def _try_acquire(self, process: "Process") -> bool:
+        self._account()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            return True
+        self._waiters.append(process)
+        return False
+
+    def _release(self) -> None:
+        self._account()
+        if self._in_use <= 0:
+            raise RuntimeError(f"resource {self.name!r} released more than acquired")
+        self._in_use -= 1
+        if self._waiters:
+            waiter = self._waiters.pop(0)
+            self._in_use += 1
+            self.kernel.schedule(0.0, lambda: waiter._step(None))
+
+
+class Process:
+    """A running simulation process wrapping a generator."""
+
+    def __init__(self, kernel: "SimulationKernel", generator: ProcessGenerator, name: str) -> None:
+        self.kernel = kernel
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+
+    def _step(self, value: Any) -> None:
+        if self.finished:
+            return
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            self.kernel._process_finished(self)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, (int, float)):
+            command = Timeout(float(command))
+        if isinstance(command, Timeout):
+            self.kernel.schedule(command.delay, lambda: self._step(None))
+        elif isinstance(command, Acquire):
+            if command.resource._try_acquire(self):
+                self.kernel.schedule(0.0, lambda: self._step(None))
+            # Otherwise the resource will resume us on release.
+        elif isinstance(command, Release):
+            command.resource._release()
+            self.kernel.schedule(0.0, lambda: self._step(None))
+        else:
+            raise TypeError(f"process {self.name!r} yielded unsupported command {command!r}")
+
+
+class SimulationKernel:
+    """Event queue, clock and process management."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processes: List[Process] = []
+        self._finished: List[Process] = []
+        self.trace: List[Tuple[float, str]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        heapq.heappush(
+            self._queue, _ScheduledEvent(self._now + delay, next(self._sequence), action)
+        )
+
+    def spawn(self, generator: ProcessGenerator, name: str = "process") -> Process:
+        """Register a new process; it starts at the current simulation time."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self.schedule(0.0, lambda: process._step(None))
+        return process
+
+    def resource(self, capacity: int, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def acquire(self, resource: Resource) -> Acquire:
+        return Acquire(resource)
+
+    def release(self, resource: Resource) -> Release:
+        return Release(resource)
+
+    # ------------------------------------------------------------------ #
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue is empty (or simulated time exceeds ``until``)."""
+        events = 0
+        while self._queue:
+            if events >= max_events:
+                raise RuntimeError("simulation exceeded max_events; likely a runaway process")
+            head = self._queue[0]
+            if until is not None and head.time > until:
+                self._now = until
+                break
+            event = heapq.heappop(self._queue)
+            if event.time < self._now - 1e-12:
+                raise AssertionError("event scheduled in the past")  # pragma: no cover
+            self._now = event.time
+            event.action()
+            events += 1
+        return self._now
+
+    def _process_finished(self, process: Process) -> None:
+        self._finished.append(process)
+
+    @property
+    def finished_processes(self) -> List[Process]:
+        return list(self._finished)
+
+    def all_finished(self) -> bool:
+        return all(p.finished for p in self._processes)
+
+    def log(self, message: str) -> None:
+        self.trace.append((self._now, message))

@@ -1,0 +1,131 @@
+"""Synthetic workload generators for the Table I use cases.
+
+Table I characterises the five use cases by events/hour per managed
+resource, mean event size, and the number of topics, producers and
+consumers.  The generators here produce event streams with those
+characteristics — both as plain dictionaries (for the functional fabric)
+and as arrival processes on the DES kernel (for time-based studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.simulation.kernel import SimulationKernel
+
+
+@dataclass(frozen=True)
+class UseCaseProfile:
+    """Event characteristics of one Table I use case."""
+
+    name: str
+    events_per_hour_per_resource: float
+    mean_event_size_bytes: int
+    topics_per_deployment: str   # "1" or "R" (one per resource)
+    producers: str               # "R" (one per resource)
+    consumers: str               # "1", "R" or "Trigger"
+
+    def events_per_second(self, num_resources: int) -> float:
+        return self.events_per_hour_per_resource * num_resources / 3600.0
+
+
+#: Table I, verbatim (orders of magnitude for the event rates).
+USE_CASE_PROFILES: Dict[str, UseCaseProfile] = {
+    "sdl": UseCaseProfile("sdl", 1e2, 512, "1", "R", "1"),
+    "data_automation": UseCaseProfile("data_automation", 1e3, 4096, "1", "R", "Trigger"),
+    "scheduling": UseCaseProfile("scheduling", 1e4, 1024, "R", "R", "1"),
+    "epidemic": UseCaseProfile("epidemic", 1e1, 1024, "R", "R", "Trigger"),
+    "workflow": UseCaseProfile("workflow", 1e3, 1024, "R", "R", "R"),
+}
+
+
+class SyntheticEventGenerator:
+    """Generates event payloads of a target serialized size."""
+
+    def __init__(self, mean_size_bytes: int, *, seed: int = 11) -> None:
+        if mean_size_bytes < 16:
+            raise ValueError("mean_size_bytes must be >= 16")
+        self.mean_size_bytes = mean_size_bytes
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def next_event(self, **extra: Any) -> Dict[str, Any]:
+        """One synthetic event with metadata plus size padding."""
+        self._counter += 1
+        base = {
+            "sequence": self._counter,
+            "timestamp": float(self._counter),
+            **extra,
+        }
+        # Pad the payload so its serialized size approximates the target.
+        overhead = 96 + sum(len(str(k)) + len(str(v)) for k, v in base.items())
+        padding = max(0, int(self.mean_size_bytes) - overhead)
+        base["payload"] = "x" * padding
+        return base
+
+    def batch(self, count: int, **extra: Any) -> List[Dict[str, Any]]:
+        return [self.next_event(**extra) for _ in range(count)]
+
+
+class PoissonArrivalProcess:
+    """Poisson event arrivals on the DES kernel.
+
+    Each arrival invokes ``callback(time, event)``; used by the application
+    models to drive realistic (bursty) event streams.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulationKernel,
+        rate_per_second: float,
+        callback,
+        *,
+        generator: Optional[SyntheticEventGenerator] = None,
+        duration_seconds: float = 3600.0,
+        seed: int = 23,
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("rate_per_second must be > 0")
+        self.kernel = kernel
+        self.rate = rate_per_second
+        self.callback = callback
+        self.generator = generator or SyntheticEventGenerator(256)
+        self.duration = duration_seconds
+        self._rng = np.random.default_rng(seed)
+        self.arrivals = 0
+        kernel.spawn(self._run(), name=f"poisson-{rate_per_second:.3f}")
+
+    def _run(self):
+        while self.kernel.now < self.duration:
+            gap = float(self._rng.exponential(1.0 / self.rate))
+            yield gap
+            if self.kernel.now >= self.duration:
+                break
+            self.arrivals += 1
+            self.callback(self.kernel.now, self.generator.next_event())
+
+
+def use_case_workload(
+    name: str, *, num_resources: int, duration_seconds: float = 3600.0, seed: int = 5
+) -> Iterator[Dict[str, Any]]:
+    """Yield the events one Table I use case produces over a time window.
+
+    Events carry a ``time`` key (seconds since the window start) and a
+    ``resource`` key identifying the producing resource.
+    """
+    profile = USE_CASE_PROFILES[name]
+    rng = np.random.default_rng(seed)
+    generator = SyntheticEventGenerator(profile.mean_event_size_bytes, seed=seed)
+    per_resource_rate = profile.events_per_hour_per_resource / 3600.0
+    for resource in range(num_resources):
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / per_resource_rate))
+            if t >= duration_seconds:
+                break
+            yield generator.next_event(
+                time=round(t, 3), resource=f"{name}-resource-{resource}", use_case=name
+            )

@@ -1,0 +1,182 @@
+"""Tests for the IAM service and the topic ACL store."""
+
+import pytest
+
+from repro.auth.acl import AclStore, Operation
+from repro.auth.iam import (
+    AccessDeniedError,
+    IamService,
+    NoSuchEntityError,
+    PolicyStatement,
+)
+
+
+class TestIamIdentities:
+    def test_create_identity_idempotent(self):
+        iam = IamService()
+        a = iam.create_identity("user-1")
+        b = iam.create_identity("user-1")
+        assert a is b
+        assert iam.has_identity("user-1")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            IamService().create_identity("x", kind="group")
+
+    def test_unknown_identity_raises(self):
+        with pytest.raises(NoSuchEntityError):
+            IamService().identity("ghost")
+
+    def test_delete_identity_removes_keys(self):
+        iam = IamService()
+        key = iam.create_access_key("user-1")
+        iam.delete_identity("user-1")
+        assert not iam.has_identity("user-1")
+        with pytest.raises(AccessDeniedError):
+            iam.authenticate(key.access_key_id, key.secret_access_key)
+
+
+class TestAccessKeys:
+    def test_create_key_returns_usable_credentials(self):
+        iam = IamService()
+        key = iam.create_access_key("alice")
+        assert key.access_key_id.startswith("AKIA")
+        assert iam.authenticate(key.access_key_id, key.secret_access_key) == "alice"
+
+    def test_bad_secret_rejected(self):
+        iam = IamService()
+        key = iam.create_access_key("alice")
+        with pytest.raises(AccessDeniedError):
+            iam.authenticate(key.access_key_id, "wrong")
+
+    def test_deactivated_key_rejected(self):
+        iam = IamService()
+        key = iam.create_access_key("alice")
+        iam.deactivate_key(key.access_key_id)
+        with pytest.raises(AccessDeniedError):
+            iam.authenticate(key.access_key_id, key.secret_access_key)
+
+    def test_deactivate_unknown_key_raises(self):
+        with pytest.raises(NoSuchEntityError):
+            IamService().deactivate_key("AKIA000")
+
+    def test_multiple_keys_per_principal(self):
+        iam = IamService()
+        iam.create_access_key("alice")
+        iam.create_access_key("alice")
+        assert len(iam.keys_for("alice")) == 2
+
+
+class TestPolicies:
+    def test_allow_matching_action_and_resource(self):
+        iam = IamService()
+        iam.create_identity("alice")
+        iam.attach_policy(
+            "alice",
+            PolicyStatement.allow(["kafka-cluster:WriteData"], ["topic/sdl-*"]),
+        )
+        assert iam.is_allowed("alice", "kafka-cluster:WriteData", "topic/sdl-events")
+        assert not iam.is_allowed("alice", "kafka-cluster:ReadData", "topic/sdl-events")
+        assert not iam.is_allowed("alice", "kafka-cluster:WriteData", "topic/other")
+
+    def test_explicit_deny_overrides_allow(self):
+        iam = IamService()
+        iam.create_identity("alice")
+        iam.attach_policy("alice", PolicyStatement.allow(["*"], ["*"]))
+        iam.attach_policy("alice", PolicyStatement.deny(["kafka-cluster:Delete*"], ["*"]))
+        assert iam.is_allowed("alice", "kafka-cluster:WriteData", "topic/x")
+        assert not iam.is_allowed("alice", "kafka-cluster:DeleteTopic", "topic/x")
+
+    def test_unknown_principal_denied(self):
+        assert not IamService().is_allowed("ghost", "any", "thing")
+
+    def test_check_raises_on_denial(self):
+        iam = IamService()
+        iam.create_identity("alice")
+        with pytest.raises(AccessDeniedError):
+            iam.check("alice", "kafka-cluster:WriteData", "topic/x")
+
+    def test_invalid_effect_rejected(self):
+        with pytest.raises(ValueError):
+            PolicyStatement("Maybe", ("a",), ("r",))
+
+    def test_detach_all_policies(self):
+        iam = IamService()
+        iam.create_identity("alice")
+        iam.attach_policy("alice", PolicyStatement.allow(["*"], ["*"]))
+        iam.detach_all_policies("alice")
+        assert not iam.is_allowed("alice", "x", "y")
+
+
+class TestAclStore:
+    def test_grant_and_check(self):
+        acl = AclStore()
+        acl.grant("alice", "topic-a", ["READ", "write"])
+        assert acl.is_authorized("alice", "READ", "topic-a")
+        assert acl.is_authorized("alice", Operation.WRITE, "topic-a")
+        assert not acl.is_authorized("alice", "DESCRIBE", "topic-a")
+        assert not acl.is_authorized("bob", "READ", "topic-a")
+        assert not acl.is_authorized(None, "READ", "topic-a")
+
+    def test_owner_grant_gives_all_operations(self):
+        acl = AclStore()
+        acl.grant_owner("alice", "t")
+        assert acl.operations("alice", "t") == {
+            Operation.READ, Operation.WRITE, Operation.DESCRIBE,
+        }
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(ValueError):
+            AclStore().grant("alice", "t", ["FLY"])
+
+    def test_revoke_partial_and_full(self):
+        acl = AclStore()
+        acl.grant_owner("alice", "t")
+        acl.revoke("alice", "t", ["WRITE"])
+        assert acl.operations("alice", "t") == {Operation.READ, Operation.DESCRIBE}
+        acl.revoke("alice", "t")
+        assert acl.operations("alice", "t") == set()
+        assert acl.revoke("alice", "t") is None  # idempotent
+
+    def test_revoke_topic_clears_every_principal(self):
+        acl = AclStore()
+        acl.grant("alice", "t", ["READ"])
+        acl.grant("bob", "t", ["READ"])
+        assert acl.revoke_topic("t") == 2
+        assert not acl.is_authorized("alice", "READ", "t")
+
+    def test_topics_for_principal(self):
+        acl = AclStore()
+        acl.grant_owner("alice", "b")
+        acl.grant_owner("alice", "a")
+        acl.grant("alice", "c", ["READ"])
+        assert acl.topics_for("alice") == ["a", "b"]
+        assert acl.topics_for("alice", Operation.READ) == ["a", "b", "c"]
+
+    def test_group_resolution(self):
+        groups = {"alice": ["sdl-team"]}
+        acl = AclStore(group_resolver=lambda p: groups.get(p, []))
+        acl.grant("sdl-team", "shared-topic", ["READ", "DESCRIBE"])
+        assert acl.is_authorized("alice", "READ", "shared-topic")
+        assert not acl.is_authorized("mallory", "READ", "shared-topic")
+        assert "shared-topic" in acl.topics_for("alice")
+
+    def test_as_authorizer_integrates_with_cluster(self):
+        from repro.fabric import FabricCluster
+        from repro.fabric.errors import AuthorizationError
+        from repro.fabric.record import EventRecord
+
+        acl = AclStore()
+        acl.grant_owner("alice", "t")
+        cluster = FabricCluster(num_brokers=1, authorizer=acl.as_authorizer())
+        cluster.create_topic("t")
+        cluster.append("t", 0, EventRecord(value=1), principal="alice")
+        with pytest.raises(AuthorizationError):
+            cluster.append("t", 0, EventRecord(value=1), principal="bob")
+
+    def test_principals_for_topic(self):
+        acl = AclStore()
+        acl.grant("alice", "t", ["READ"])
+        acl.grant("bob", "t", ["WRITE"])
+        principals = acl.principals_for("t")
+        assert set(principals) == {"alice", "bob"}

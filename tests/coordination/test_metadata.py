@@ -1,0 +1,98 @@
+"""Tests for the Octopus cluster metadata registry."""
+
+import pytest
+
+from repro.coordination.metadata import ClusterMetadataRegistry
+
+
+@pytest.fixture
+def registry():
+    return ClusterMetadataRegistry()
+
+
+class TestTopicOwnership:
+    def test_register_and_describe_topic(self, registry):
+        registry.register_topic("sdl-events", owner="alice@uchicago.edu",
+                                config={"num_partitions": 2})
+        assert registry.topic_exists("sdl-events")
+        assert registry.topic_owner("sdl-events") == "alice@uchicago.edu"
+        assert registry.topic_config("sdl-events") == {"num_partitions": 2}
+
+    def test_register_is_idempotent_for_same_owner(self, registry):
+        registry.register_topic("t", owner="alice")
+        registry.register_topic("t", owner="alice")
+        assert registry.topic_owner("t") == "alice"
+
+    def test_register_rejects_foreign_takeover(self, registry):
+        registry.register_topic("t", owner="alice")
+        with pytest.raises(PermissionError):
+            registry.register_topic("t", owner="bob")
+
+    def test_owner_gets_full_acl(self, registry):
+        registry.register_topic("t", owner="alice")
+        assert registry.acl("t")["alice"] == ["DESCRIBE", "READ", "WRITE"]
+
+    def test_unregister_topic(self, registry):
+        registry.register_topic("t", owner="alice")
+        registry.unregister_topic("t")
+        assert not registry.topic_exists("t")
+        registry.unregister_topic("t")  # idempotent
+
+    def test_list_topics_and_topics_for_principal(self, registry):
+        registry.register_topic("a", owner="alice")
+        registry.register_topic("b", owner="bob")
+        registry.grant("b", "alice", ["DESCRIBE"])
+        assert registry.list_topics() == ["a", "b"]
+        assert registry.topics_for_principal("alice") == ["a", "b"]
+        assert registry.topics_for_principal("bob") == ["b"]
+
+    def test_set_topic_config(self, registry):
+        registry.register_topic("t", owner="alice")
+        registry.set_topic_config("t", {"retention_seconds": 60})
+        assert registry.topic_config("t") == {"retention_seconds": 60}
+
+
+class TestAcl:
+    def test_grant_and_revoke(self, registry):
+        registry.register_topic("t", owner="alice")
+        registry.grant("t", "bob", ["read", "describe"])
+        assert registry.is_authorized("bob", "READ", "t")
+        assert not registry.is_authorized("bob", "WRITE", "t")
+        registry.revoke("t", "bob", ["READ"])
+        assert not registry.is_authorized("bob", "READ", "t")
+        assert registry.is_authorized("bob", "DESCRIBE", "t")
+        registry.revoke("t", "bob")
+        assert "bob" not in registry.acl("t")
+
+    def test_unknown_topic_not_authorized(self, registry):
+        assert not registry.is_authorized("alice", "READ", "nope")
+
+    def test_none_principal_not_authorized(self, registry):
+        registry.register_topic("t", owner="alice")
+        assert not registry.is_authorized(None, "READ", "t")
+
+
+class TestIdentityMapping:
+    def test_map_and_lookup(self, registry):
+        registry.map_identity("alice@uchicago.edu", "iam-user-1")
+        assert registry.iam_principal_for("alice@uchicago.edu") == "iam-user-1"
+        registry.map_identity("alice@uchicago.edu", "iam-user-2")
+        assert registry.iam_principal_for("alice@uchicago.edu") == "iam-user-2"
+
+    def test_unknown_identity_returns_none(self, registry):
+        assert registry.iam_principal_for("ghost@nowhere") is None
+
+
+class TestTriggerRegistry:
+    def test_register_list_and_remove(self, registry):
+        registry.register_trigger("tr-1", {"topic": "t", "function": "f"})
+        registry.register_trigger("tr-2", {"topic": "u", "function": "g"})
+        assert registry.list_triggers() == ["tr-1", "tr-2"]
+        assert registry.trigger_spec("tr-1")["topic"] == "t"
+        registry.unregister_trigger("tr-1")
+        assert registry.list_triggers() == ["tr-2"]
+
+    def test_register_trigger_update(self, registry):
+        registry.register_trigger("tr", {"batch_size": 1})
+        registry.register_trigger("tr", {"batch_size": 100})
+        assert registry.trigger_spec("tr")["batch_size"] == 100

@@ -1,0 +1,143 @@
+"""Tests for the ZooKeeper-like coordination store."""
+
+import pytest
+
+from repro.coordination.zookeeper import (
+    BadVersionError,
+    NoNodeError,
+    NodeExistsError,
+    NotEmptyError,
+    ZooKeeperEnsemble,
+)
+
+
+@pytest.fixture
+def zk():
+    return ZooKeeperEnsemble()
+
+
+class TestCreateGet:
+    def test_create_and_get(self, zk):
+        zk.create("/topics", {"n": 1})
+        assert zk.get("/topics") == {"n": 1}
+        assert zk.exists("/topics")
+
+    def test_create_requires_parent(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.create("/a/b/c", 1)
+
+    def test_make_parents(self, zk):
+        zk.create("/a/b/c", 1, make_parents=True)
+        assert zk.exists("/a/b")
+        assert zk.get("/a/b/c") == 1
+
+    def test_duplicate_create_rejected(self, zk):
+        zk.create("/x")
+        with pytest.raises(NodeExistsError):
+            zk.create("/x")
+
+    def test_relative_path_rejected(self, zk):
+        with pytest.raises(ValueError):
+            zk.create("topics")
+
+    def test_trailing_slash_rejected(self, zk):
+        with pytest.raises(ValueError):
+            zk.get("/topics/")
+
+    def test_sequential_nodes_get_increasing_suffixes(self, zk):
+        zk.create("/queue")
+        first = zk.create("/queue/task-", "a", sequential=True)
+        second = zk.create("/queue/task-", "b", sequential=True)
+        assert first < second
+        assert zk.get(first) == "a"
+
+    def test_ensure_path_idempotent(self, zk):
+        zk.ensure_path("/octopus/topics")
+        zk.ensure_path("/octopus/topics")
+        assert zk.exists("/octopus/topics")
+
+
+class TestSetVersioning:
+    def test_set_bumps_version(self, zk):
+        zk.create("/n", 1)
+        assert zk.stat("/n").version == 0
+        zk.set("/n", 2)
+        assert zk.stat("/n").version == 1
+        assert zk.get("/n") == 2
+
+    def test_conditional_set_with_stale_version_fails(self, zk):
+        zk.create("/n", 1)
+        zk.set("/n", 2)
+        with pytest.raises(BadVersionError):
+            zk.set("/n", 3, expected_version=0)
+        assert zk.get("/n") == 2
+
+    def test_conditional_set_with_current_version_succeeds(self, zk):
+        zk.create("/n", 1)
+        version = zk.set("/n", 2, expected_version=0)
+        assert version == 1
+
+    def test_get_missing_node_raises(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.get("/missing")
+
+
+class TestDeleteChildren:
+    def test_children_lists_direct_children_only(self, zk):
+        zk.create("/t", make_parents=True)
+        zk.create("/t/a")
+        zk.create("/t/b")
+        zk.create("/t/a/nested")
+        assert zk.children("/t") == ["a", "b"]
+        assert zk.children("/") == ["t"]
+
+    def test_delete_with_children_requires_recursive(self, zk):
+        zk.create("/t")
+        zk.create("/t/a")
+        with pytest.raises(NotEmptyError):
+            zk.delete("/t")
+        zk.delete("/t", recursive=True)
+        assert not zk.exists("/t")
+        assert not zk.exists("/t/a")
+
+    def test_delete_missing_raises(self, zk):
+        with pytest.raises(NoNodeError):
+            zk.delete("/ghost")
+
+
+class TestWatches:
+    def test_data_watch_fires_on_change_and_delete(self, zk):
+        events = []
+        zk.create("/w", 0)
+        zk.watch("/w", lambda event, path: events.append((event, path)))
+        zk.set("/w", 1)
+        zk.delete("/w")
+        assert events == [("changed", "/w"), ("deleted", "/w")]
+
+    def test_child_watch_fires_on_create_and_delete(self, zk):
+        events = []
+        zk.create("/parent")
+        zk.watch_children("/parent", lambda event, path: events.append(event))
+        zk.create("/parent/a")
+        zk.delete("/parent/a")
+        assert events == ["children_changed", "children_changed"]
+
+
+class TestEphemeral:
+    def test_close_session_removes_ephemeral_nodes(self, zk):
+        zk.create("/members")
+        zk.create("/members/broker-1", "alive", ephemeral_owner="session-1")
+        zk.create("/members/broker-2", "alive", ephemeral_owner="session-2")
+        removed = zk.close_session("session-1")
+        assert removed == ["/members/broker-1"]
+        assert zk.children("/members") == ["broker-2"]
+
+    def test_stat_reports_ephemeral_owner(self, zk):
+        zk.create("/e", ephemeral_owner="s")
+        assert zk.stat("/e").ephemeral_owner == "s"
+
+    def test_dump_snapshot(self, zk):
+        zk.create("/a", 1)
+        snapshot = zk.dump()
+        assert snapshot["/a"] == 1
+        assert "/" in snapshot

@@ -1,0 +1,309 @@
+"""Tests for the Octopus Web Service routes and the control-plane services."""
+
+import pytest
+
+from repro.core import OctopusDeployment
+from repro.core.errors import NotAuthorizedError, NotFoundError, ValidationError
+from repro.core.routes import Router
+from repro.faas.function import FunctionDefinition
+
+
+@pytest.fixture
+def deployment():
+    return OctopusDeployment.create()
+
+
+@pytest.fixture
+def token(deployment):
+    return deployment.auth.login("alice", "uchicago.edu", ["octopus:all"]).token
+
+
+class TestRouter:
+    def test_static_and_parameterised_routes(self):
+        router = Router()
+        router.add("GET", "/topics", lambda p, b, u: {"ok": 1})
+        router.add("GET", "/topic/<topic>", lambda p, b, u: p)
+        route, params = router.resolve("GET", "/topic/sdl-events")
+        assert params == {"topic": "sdl-events"}
+        route, params = router.resolve("get", "/topics")
+        assert params == {}
+
+    def test_unknown_route_raises(self):
+        router = Router()
+        with pytest.raises(NotFoundError):
+            router.resolve("GET", "/nothing")
+
+    def test_method_mismatch_raises(self):
+        router = Router()
+        router.add("GET", "/topics", lambda p, b, u: {})
+        with pytest.raises(NotFoundError):
+            router.resolve("POST", "/topics")
+
+    def test_multi_parameter_route(self):
+        router = Router()
+        router.add("POST", "/topic/<topic>/user", lambda p, b, u: p)
+        _, params = router.resolve("POST", "/topic/abc/user")
+        assert params == {"topic": "abc"}
+
+    def test_routes_listing(self):
+        router = Router()
+        router.add("GET", "/topics", lambda p, b, u: {})
+        assert router.routes() == ["GET /topics"]
+
+
+class TestAuthentication:
+    def test_missing_token_rejected(self, deployment):
+        status, body = deployment.service.handle("GET", "/topics")
+        assert status == 403
+
+    def test_garbage_token_rejected(self, deployment):
+        status, body = deployment.service.handle("GET", "/topics", token="nope")
+        assert status == 401
+
+    def test_valid_token_accepted(self, deployment, token):
+        status, body = deployment.service.handle("GET", "/topics", token=token)
+        assert status == 200
+        assert body == {"topics": []}
+
+    def test_unknown_route_returns_404(self, deployment, token):
+        status, _ = deployment.service.handle("GET", "/bogus", token=token)
+        assert status == 404
+
+
+class TestTopicRoutes:
+    def test_register_topic_grants_owner_access(self, deployment, token):
+        status, body = deployment.service.handle(
+            "PUT", "/topic/sdl-events", token=token,
+            body={"config": {"num_partitions": 2}},
+        )
+        assert status == 200
+        assert body["owner"] == "alice@uchicago.edu"
+        assert body["config"]["num_partitions"] == 2
+        assert deployment.cluster.has_topic("sdl-events")
+
+    def test_register_topic_is_idempotent(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, body = deployment.service.handle("PUT", "/topic/t", token=token)
+        assert status == 200
+
+    def test_other_user_cannot_take_over_topic(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        bob_token = deployment.auth.login("bob", "anl.gov", ["octopus:all"]).token
+        status, body = deployment.service.handle("PUT", "/topic/t", token=bob_token)
+        assert status == 403
+
+    def test_invalid_topic_names_rejected(self, deployment, token):
+        status, _ = deployment.service.handle("PUT", "/topic/bad name!", token=token)
+        assert status == 400
+
+    def test_get_topic_and_list_topics(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/a", token=token)
+        deployment.service.handle("PUT", "/topic/b", token=token)
+        status, body = deployment.service.handle("GET", "/topics", token=token)
+        assert body["topics"] == ["a", "b"]
+        status, body = deployment.service.handle("GET", "/topic/a", token=token)
+        assert status == 200 and body["name"] == "a"
+
+    def test_get_unregistered_topic_404(self, deployment, token):
+        status, _ = deployment.service.handle("GET", "/topic/nope", token=token)
+        assert status == 404
+
+    def test_configure_topic_updates_config(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, body = deployment.service.handle(
+            "POST", "/topic/t", token=token, body={"retention_seconds": 3600.0},
+        )
+        assert status == 200
+        assert body["config"]["retention_seconds"] == 3600.0
+
+    def test_configure_topic_rejects_bad_values(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t", token=token, body={"cleanup_policy": "zap"},
+        )
+        assert status == 400
+        status, _ = deployment.service.handle("POST", "/topic/t", token=token, body={})
+        assert status == 400
+
+    def test_set_partitions_route(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, body = deployment.service.handle(
+            "POST", "/topic/t/partitions", token=token, body={"num_partitions": 8},
+        )
+        assert status == 200 and body["num_partitions"] == 8
+        assert deployment.cluster.topic("t").num_partitions == 8
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t/partitions", token=token, body={},
+        )
+        assert status == 400
+
+    def test_grant_and_revoke_user(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, body = deployment.service.handle(
+            "POST", "/topic/t/user", token=token,
+            body={"action": "grant", "user": "bob@anl.gov", "operations": ["READ", "DESCRIBE"]},
+        )
+        assert status == 200
+        assert "bob@anl.gov" in body["acl"]
+        bob_token = deployment.auth.login("bob", "anl.gov", ["octopus:all"]).token
+        status, body = deployment.service.handle("GET", "/topics", token=bob_token)
+        assert body["topics"] == ["t"]
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t/user", token=token,
+            body={"action": "revoke", "user": "bob@anl.gov"},
+        )
+        assert status == 200
+        status, body = deployment.service.handle("GET", "/topics", token=bob_token)
+        assert body["topics"] == []
+
+    def test_owner_access_cannot_be_revoked(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t/user", token=token,
+            body={"action": "revoke", "user": "alice@uchicago.edu"},
+        )
+        assert status == 400
+
+    def test_user_route_requires_user_and_valid_action(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t/user", token=token, body={"action": "grant"},
+        )
+        assert status == 400
+        status, _ = deployment.service.handle(
+            "POST", "/topic/t/user", token=token,
+            body={"action": "share", "user": "bob@anl.gov"},
+        )
+        assert status == 400
+
+    def test_delete_topic(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, body = deployment.service.handle("DELETE", "/topic/t", token=token)
+        assert status == 200 and body["status"] == "deleted"
+        assert not deployment.cluster.has_topic("t")
+        status, body = deployment.service.handle("GET", "/topics", token=token)
+        assert body["topics"] == []
+
+    def test_non_owner_cannot_configure_or_delete(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        bob_token = deployment.auth.login("bob", "anl.gov", ["octopus:all"]).token
+        for method, path, body in [
+            ("POST", "/topic/t", {"retention_seconds": 1.0}),
+            ("POST", "/topic/t/partitions", {"num_partitions": 4}),
+            ("DELETE", "/topic/t", None),
+            ("POST", "/topic/t/user", {"action": "grant", "user": "eve@x.org"}),
+        ]:
+            status, _ = deployment.service.handle(method, path, token=bob_token, body=body)
+            assert status == 403
+
+
+class TestCreateKey:
+    def test_create_key_returns_credentials_and_maps_identity(self, deployment, token):
+        status, body = deployment.service.handle("GET", "/create_key", token=token)
+        assert status == 200
+        assert body["access_key"].startswith("AKIA")
+        assert "secret_key" in body
+        iam_principal = deployment.metadata.iam_principal_for("alice@uchicago.edu")
+        assert iam_principal == "octopus-alice.uchicago.edu"
+        assert deployment.iam.has_identity(iam_principal)
+
+    def test_create_key_twice_issues_new_key_same_identity(self, deployment, token):
+        _, first = deployment.service.handle("GET", "/create_key", token=token)
+        _, second = deployment.service.handle("GET", "/create_key", token=token)
+        assert first["access_key"] != second["access_key"]
+        assert first["username"] == second["username"]
+
+    def test_credential_broker_round_trip(self, deployment):
+        creds = deployment.service.create_key("carol@lbl.gov")
+        resolved = deployment.service.credentials.authenticate_key(
+            creds.access_key_id, creds.secret_access_key
+        )
+        assert resolved == "carol@lbl.gov"
+
+    def test_revoke_keys(self, deployment):
+        broker = deployment.service.credentials
+        broker.create_key("dave@ornl.gov")
+        broker.create_key("dave@ornl.gov")
+        assert broker.revoke_keys("dave@ornl.gov") == 2
+        assert broker.revoke_keys("ghost@nowhere") == 0
+
+
+class TestTriggerRoutes:
+    def register_noop_function(self, deployment, name="action"):
+        deployment.triggers.register_function(
+            FunctionDefinition(name=name, handler=lambda e, c: len(e["records"]))
+        )
+
+    def test_create_list_update_delete_trigger(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        self.register_noop_function(deployment)
+        status, body = deployment.service.handle(
+            "PUT", "/trigger", token=token,
+            body={"topic": "t", "function": "action", "batch_size": 10},
+        )
+        assert status == 200
+        trigger_id = body["trigger_id"]
+        status, body = deployment.service.handle("GET", "/triggers", token=token)
+        assert len(body["triggers"]) == 1
+        status, body = deployment.service.handle(
+            "POST", f"/trigger/{trigger_id}", token=token, body={"batch_size": 500},
+        )
+        assert status == 200 and body["batch_size"] == 500
+        status, body = deployment.service.handle(
+            "DELETE", f"/trigger/{trigger_id}", token=token,
+        )
+        assert status == 200
+        status, body = deployment.service.handle("GET", "/triggers", token=token)
+        assert body["triggers"] == []
+
+    def test_trigger_requires_existing_topic_and_function(self, deployment, token):
+        self.register_noop_function(deployment)
+        status, _ = deployment.service.handle(
+            "PUT", "/trigger", token=token, body={"topic": "ghost", "function": "action"},
+        )
+        assert status == 404
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        status, _ = deployment.service.handle(
+            "PUT", "/trigger", token=token, body={"topic": "t", "function": "ghost"},
+        )
+        assert status == 404
+
+    def test_trigger_requires_topic_access(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        self.register_noop_function(deployment)
+        bob_token = deployment.auth.login("bob", "anl.gov", ["octopus:all"]).token
+        status, _ = deployment.service.handle(
+            "PUT", "/trigger", token=bob_token, body={"topic": "t", "function": "action"},
+        )
+        assert status == 403
+
+    def test_invalid_filter_pattern_rejected(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        self.register_noop_function(deployment)
+        status, _ = deployment.service.handle(
+            "PUT", "/trigger", token=token,
+            body={"topic": "t", "function": "action",
+                  "filter_pattern": {"a": "not-a-list"}},
+        )
+        assert status == 400
+
+    def test_update_with_unknown_setting_rejected(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        self.register_noop_function(deployment)
+        _, body = deployment.service.handle(
+            "PUT", "/trigger", token=token, body={"topic": "t", "function": "action"},
+        )
+        status, _ = deployment.service.handle(
+            "POST", f"/trigger/{body['trigger_id']}", token=token, body={"memory": 512},
+        )
+        assert status == 400
+
+    def test_trigger_creates_iam_role_and_log_group(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/t", token=token)
+        self.register_noop_function(deployment)
+        _, body = deployment.service.handle(
+            "PUT", "/trigger", token=token, body={"topic": "t", "function": "action"},
+        )
+        assert deployment.iam.has_identity(body["iam_role"])
+        assert body["log_group"] in [f"/aws/lambda/action"]
+        assert deployment.metadata.list_triggers() == [body["trigger_id"]]

@@ -1,0 +1,252 @@
+"""Tests for the function registry, executor and event-source mappings."""
+
+import pytest
+
+from repro.fabric import FabricCluster, FabricProducer, TopicConfig
+from repro.faas.eventsource import EventSourceConfig, EventSourceMapping
+from repro.faas.executor import LambdaExecutor
+from repro.faas.function import FunctionDefinition, FunctionRegistry
+from repro.faas.logs import LogService
+
+
+def make_executor(handler, name="fn", **kwargs):
+    registry = FunctionRegistry()
+    registry.register(FunctionDefinition(name=name, handler=handler, **kwargs))
+    return LambdaExecutor(registry, LogService(), max_retries=1)
+
+
+class TestFunctionRegistry:
+    def test_register_and_get(self):
+        registry = FunctionRegistry()
+        registry.register(FunctionDefinition(name="f", handler=lambda e, c: e))
+        assert "f" in registry
+        assert registry.list() == ["f"]
+        assert registry.get("f").name == "f"
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(KeyError):
+            FunctionRegistry().get("nope")
+
+    def test_invalid_definitions_rejected(self):
+        with pytest.raises(TypeError):
+            FunctionRegistry().register(FunctionDefinition(name="f", handler="not callable"))
+        with pytest.raises(ValueError):
+            FunctionRegistry().register(
+                FunctionDefinition(name="f", handler=lambda e, c: e, memory_mb=64)
+            )
+        with pytest.raises(ValueError):
+            FunctionRegistry().register(
+                FunctionDefinition(name="f", handler=lambda e, c: e, timeout_seconds=0)
+            )
+
+    def test_unregister_is_idempotent(self):
+        registry = FunctionRegistry()
+        registry.register(FunctionDefinition(name="f", handler=lambda e, c: e))
+        registry.unregister("f")
+        registry.unregister("f")
+        assert registry.list() == []
+
+
+class TestExecutor:
+    def test_successful_invocation_returns_response(self):
+        executor = make_executor(lambda event, ctx: {"echo": event["x"]})
+        result = executor.invoke("fn", {"x": 41})
+        assert result.success
+        assert result.response == {"echo": 41}
+        assert result.attempts == 1
+        assert executor.stats.invocations == 1
+
+    def test_context_carries_function_metadata(self):
+        seen = {}
+
+        def handler(event, context):
+            seen["name"] = context.function_name
+            seen["memory"] = context.memory_mb
+            return None
+
+        executor = make_executor(handler, memory_mb=256)
+        executor.invoke("fn", {})
+        assert seen == {"name": "fn", "memory": 256}
+
+    def test_failing_handler_is_retried_then_reported(self):
+        calls = {"n": 0}
+
+        def handler(event, context):
+            calls["n"] += 1
+            raise RuntimeError("boom")
+
+        executor = make_executor(handler)
+        result = executor.invoke("fn", {})
+        assert not result.success
+        assert "boom" in result.error
+        assert calls["n"] == 2  # initial + 1 retry
+        assert executor.stats.retries == 1
+        assert executor.stats.errors == 2
+
+    def test_transient_failure_recovers_on_retry(self):
+        calls = {"n": 0}
+
+        def handler(event, context):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TimeoutError("transient")
+            return "ok"
+
+        executor = make_executor(handler)
+        result = executor.invoke("fn", {})
+        assert result.success
+        assert result.attempts == 2
+
+    def test_logs_record_start_end_and_errors(self):
+        executor = make_executor(lambda e, c: 1 / 0)
+        executor.invoke("fn", {})
+        group = executor.logs.group("/aws/lambda/fn")
+        assert group.filter(level="ERROR")
+        assert any("START" in e.message for e in group.events)
+        metrics = executor.logs.metrics("fn")
+        assert metrics["errors"] == 2
+        assert metrics["invocations"] == 2
+
+    def test_metrics_empty_function(self):
+        executor = make_executor(lambda e, c: None)
+        assert executor.logs.metrics("fn")["invocations"] == 0
+
+    def test_simulated_duration_used_for_billing(self):
+        executor = make_executor(lambda e, c: None, simulated_duration_seconds=30.0)
+        result = executor.invoke("fn", {})
+        assert result.duration_seconds == 30.0
+        assert executor.logs.metrics("fn")["duration_p50_s"] == 30.0
+
+    def test_reserved_concurrency_throttles(self):
+        registry = FunctionRegistry()
+        registry.register(FunctionDefinition(name="fn", handler=lambda e, c: None))
+        executor = LambdaExecutor(registry, reserved_concurrency=0)
+        result = executor.invoke("fn", {})
+        assert not result.success
+        assert "Throttled" in result.error
+        assert executor.stats.throttles == 1
+
+
+@pytest.fixture
+def cluster():
+    cluster = FabricCluster(num_brokers=2)
+    cluster.create_topic("fs-events", TopicConfig(num_partitions=4))
+    return cluster
+
+
+class TestEventSourceMapping:
+    def make_mapping(self, cluster, handler, config=None):
+        registry = FunctionRegistry()
+        registry.register(FunctionDefinition(name="action", handler=handler))
+        executor = LambdaExecutor(registry)
+        mapping = EventSourceMapping(cluster, "fs-events", "action", executor, config)
+        return mapping, executor
+
+    def test_poll_invokes_function_with_batch(self, cluster):
+        received = []
+        mapping, _ = self.make_mapping(
+            cluster, lambda event, ctx: received.append(event)
+        )
+        producer = FabricProducer(cluster)
+        for i in range(5):
+            producer.send("fs-events", {"event_type": "created", "i": i})
+        results = mapping.poll_once()
+        assert len(results) == 1 and results[0].success
+        assert len(received) == 1
+        assert len(received[0]["records"]) == 5
+        assert received[0]["records"][0]["topic"] == "fs-events"
+
+    def test_filter_pattern_drops_non_matching_events(self, cluster):
+        received = []
+        config = EventSourceConfig(
+            filter_pattern={"value": {"event_type": ["created"]}}
+        )
+        mapping, _ = self.make_mapping(
+            cluster, lambda event, ctx: received.append(event), config
+        )
+        producer = FabricProducer(cluster)
+        producer.send("fs-events", {"event_type": "created", "path": "/a"})
+        producer.send("fs-events", {"event_type": "modified", "path": "/b"})
+        producer.send("fs-events", {"event_type": "created", "path": "/c"})
+        mapping.poll_once()
+        paths = [r["value"]["path"] for r in received[0]["records"]]
+        assert sorted(paths) == ["/a", "/c"]
+        assert mapping.stats.records_filtered_out == 1
+
+    def test_all_filtered_out_means_no_invocation(self, cluster):
+        mapping, executor = self.make_mapping(
+            cluster,
+            lambda e, c: None,
+            EventSourceConfig(filter_pattern={"value": {"event_type": ["created"]}}),
+        )
+        FabricProducer(cluster).send("fs-events", {"event_type": "modified"})
+        assert mapping.poll_once() == []
+        assert executor.stats.invocations == 0
+        # Offsets still committed so pressure drains.
+        assert mapping.pending_events() == 0
+
+    def test_pending_events_reflects_lag(self, cluster):
+        mapping, _ = self.make_mapping(cluster, lambda e, c: None)
+        producer = FabricProducer(cluster)
+        for i in range(7):
+            producer.send("fs-events", {"i": i})
+        assert mapping.pending_events() == 7
+        mapping.poll_once()
+        assert mapping.pending_events() == 0
+
+    def test_drain_consumes_entire_backlog(self, cluster):
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster,
+            lambda event, ctx: seen.extend(event["records"]),
+            EventSourceConfig(batch_size=10),
+        )
+        producer = FabricProducer(cluster)
+        for i in range(55):
+            producer.send("fs-events", {"i": i})
+        mapping.drain()
+        assert len(seen) == 55
+
+    def test_disabled_mapping_does_not_poll(self, cluster):
+        mapping, executor = self.make_mapping(cluster, lambda e, c: None)
+        FabricProducer(cluster).send("fs-events", {"x": 1})
+        mapping.disable()
+        assert mapping.poll_once() == []
+        assert executor.stats.invocations == 0
+        mapping.enable()
+        mapping.poll_once()
+        assert executor.stats.invocations == 1
+
+    def test_each_mapping_gets_its_own_consumer_group(self, cluster):
+        m1, _ = self.make_mapping(cluster, lambda e, c: None)
+        m2, _ = self.make_mapping(cluster, lambda e, c: None)
+        assert m1.consumer_group != m2.consumer_group
+        producer = FabricProducer(cluster)
+        producer.send("fs-events", {"x": 1})
+        # Both mappings see the same event independently.
+        assert m1.poll_once() and m2.poll_once()
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            EventSourceConfig(batch_size=0).validate()
+        with pytest.raises(ValueError):
+            EventSourceConfig(batch_size=20_000).validate()
+        with pytest.raises(ValueError):
+            EventSourceConfig(batch_window_seconds=-1).validate()
+        with pytest.raises(ValueError):
+            EventSourceConfig(starting_position="middle").validate()
+
+    def test_describe_reports_stats(self, cluster):
+        mapping, _ = self.make_mapping(cluster, lambda e, c: None)
+        FabricProducer(cluster).send("fs-events", {"x": 1})
+        mapping.poll_once()
+        info = mapping.describe()
+        assert info["topic"] == "fs-events"
+        assert info["stats"]["records_read"] == 1
+
+    def test_failed_invocation_counted(self, cluster):
+        mapping, executor = self.make_mapping(cluster, lambda e, c: 1 / 0)
+        FabricProducer(cluster).send("fs-events", {"x": 1})
+        results = mapping.poll_once()
+        assert not results[0].success
+        assert mapping.stats.failed_invocations == 1

@@ -1,0 +1,153 @@
+"""Tests for the EventBridge-style pattern language."""
+
+import pytest
+
+from repro.faas.patterns import EventPattern, PatternError, matches_pattern
+
+
+class TestLiteralMatching:
+    def test_paper_listing1_pattern(self):
+        """The exact pattern from Listing 1 of the paper."""
+        pattern = {"value": {"event_type": ["created"]}}
+        assert matches_pattern(pattern, {"value": {"event_type": "created"}})
+        assert not matches_pattern(pattern, {"value": {"event_type": "modified"}})
+        assert not matches_pattern(pattern, {"value": {}})
+        assert not matches_pattern(pattern, {})
+
+    def test_multiple_alternatives(self):
+        pattern = {"value": {"event_type": ["created", "closed"]}}
+        assert matches_pattern(pattern, {"value": {"event_type": "closed"}})
+        assert not matches_pattern(pattern, {"value": {"event_type": "deleted"}})
+
+    def test_empty_or_none_pattern_matches_everything(self):
+        assert matches_pattern(None, {"anything": 1})
+        assert matches_pattern({}, {"anything": 1})
+
+    def test_top_level_literal(self):
+        assert matches_pattern({"topic": ["fsmon"]}, {"topic": "fsmon", "other": 2})
+
+    def test_numbers_and_none_literals(self):
+        assert matches_pattern({"n": [3]}, {"n": 3})
+        assert not matches_pattern({"n": [3]}, {"n": 4})
+        assert matches_pattern({"x": [None]}, {"x": None})
+
+    def test_event_array_values_match_any_element(self):
+        pattern = {"tags": ["urgent"]}
+        assert matches_pattern(pattern, {"tags": ["routine", "urgent"]})
+        assert not matches_pattern(pattern, {"tags": ["routine"]})
+
+    def test_json_string_pattern(self):
+        assert matches_pattern('{"value": {"event_type": ["created"]}}',
+                               {"value": {"event_type": "created"}})
+
+    def test_invalid_json_string_raises(self):
+        with pytest.raises(PatternError):
+            matches_pattern("{not json", {})
+
+    def test_non_object_pattern_raises(self):
+        with pytest.raises(PatternError):
+            matches_pattern(["a"], {})
+
+    def test_scalar_pattern_value_raises(self):
+        with pytest.raises(PatternError):
+            matches_pattern({"a": "literal-not-in-list"}, {"a": "x"})
+
+
+class TestContentFilters:
+    def test_prefix_and_suffix(self):
+        assert matches_pattern({"path": [{"prefix": "/data/"}]}, {"path": "/data/run1.h5"})
+        assert not matches_pattern({"path": [{"prefix": "/data/"}]}, {"path": "/tmp/x"})
+        assert matches_pattern({"path": [{"suffix": ".h5"}]}, {"path": "/data/run1.h5"})
+
+    def test_numeric_ranges(self):
+        pattern = {"power_watts": [{"numeric": [">", 100, "<=", 200]}]}
+        assert matches_pattern(pattern, {"power_watts": 150})
+        assert matches_pattern(pattern, {"power_watts": 200})
+        assert not matches_pattern(pattern, {"power_watts": 100})
+        assert not matches_pattern(pattern, {"power_watts": 201})
+        assert not matches_pattern(pattern, {"power_watts": "hot"})
+        assert not matches_pattern(pattern, {})
+
+    def test_numeric_equality(self):
+        assert matches_pattern({"n": [{"numeric": ["=", 5]}]}, {"n": 5})
+
+    def test_numeric_bad_operator(self):
+        with pytest.raises(PatternError):
+            matches_pattern({"n": [{"numeric": ["~", 5]}]}, {"n": 5})
+
+    def test_numeric_malformed_pairs(self):
+        with pytest.raises(PatternError):
+            matches_pattern({"n": [{"numeric": [">"]}]}, {"n": 5})
+
+    def test_exists(self):
+        assert matches_pattern({"error": [{"exists": True}]}, {"error": "boom"})
+        assert not matches_pattern({"error": [{"exists": True}]}, {})
+        assert matches_pattern({"error": [{"exists": False}]}, {})
+        assert not matches_pattern({"error": [{"exists": False}]}, {"error": None})
+
+    def test_anything_but(self):
+        pattern = {"status": [{"anything-but": ["ok", "skipped"]}]}
+        assert matches_pattern(pattern, {"status": "failed"})
+        assert not matches_pattern(pattern, {"status": "ok"})
+        assert not matches_pattern(pattern, {})
+
+    def test_equals_ignore_case(self):
+        assert matches_pattern({"site": [{"equals-ignore-case": "ANL"}]}, {"site": "anl"})
+
+    def test_unknown_filter_raises(self):
+        with pytest.raises(PatternError):
+            matches_pattern({"a": [{"regex": ".*"}]}, {"a": "x"})
+
+    def test_filter_with_multiple_keys_raises(self):
+        with pytest.raises(PatternError):
+            matches_pattern({"a": [{"prefix": "x", "suffix": "y"}]}, {"a": "x"})
+
+    def test_literal_and_filter_alternatives_combine(self):
+        pattern = {"event_type": ["created", {"prefix": "mod"}]}
+        assert matches_pattern(pattern, {"event_type": "created"})
+        assert matches_pattern(pattern, {"event_type": "modified"})
+        assert not matches_pattern(pattern, {"event_type": "deleted"})
+
+
+class TestNestedPatterns:
+    def test_deeply_nested(self):
+        pattern = {"value": {"metadata": {"facility": ["aps", "als"]}}}
+        event = {"value": {"metadata": {"facility": "aps"}, "other": 1}}
+        assert matches_pattern(pattern, event)
+        assert not matches_pattern(pattern, {"value": {"metadata": {"facility": "nsls"}}})
+
+    def test_missing_subtree_fails_unless_exists_false(self):
+        assert not matches_pattern({"a": {"b": ["x"]}}, {})
+        assert matches_pattern({"a": {"b": [{"exists": False}]}}, {})
+
+    def test_multiple_keys_are_anded(self):
+        pattern = {"event_type": ["created"], "size": [{"numeric": [">", 0]}]}
+        assert matches_pattern(pattern, {"event_type": "created", "size": 10})
+        assert not matches_pattern(pattern, {"event_type": "created", "size": 0})
+
+
+class TestEventPattern:
+    def test_compiled_pattern_filter(self):
+        pattern = EventPattern({"value": {"event_type": ["created"]}})
+        events = [
+            {"value": {"event_type": "created", "path": "a"}},
+            {"value": {"event_type": "modified", "path": "b"}},
+            {"value": {"event_type": "created", "path": "c"}},
+        ]
+        assert [e["value"]["path"] for e in pattern.filter(events)] == ["a", "c"]
+
+    def test_none_pattern_passes_everything(self):
+        pattern = EventPattern(None)
+        assert pattern.matches({"x": 1})
+        assert pattern.pattern is None
+
+    def test_json_round_trip(self):
+        pattern = EventPattern('{"a": [1]}')
+        assert pattern.matches({"a": 1})
+        assert pattern.to_json() == '{"a": [1]}'
+
+    def test_invalid_pattern_rejected_at_construction(self):
+        with pytest.raises(PatternError):
+            EventPattern("not json")
+        with pytest.raises(PatternError):
+            EventPattern(42)

@@ -1,0 +1,120 @@
+"""Tests for processing-pressure scaling and the trigger-scaling simulator."""
+
+import pytest
+
+from repro.faas.scaling import (
+    ProcessingPressureScaler,
+    ScalingPolicy,
+    TriggerScalingSimulator,
+)
+
+
+class TestScalingPolicy:
+    def test_defaults_valid(self):
+        ScalingPolicy().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"evaluation_interval_seconds": 0},
+            {"initial_concurrency": 0},
+            {"max_concurrency": 1, "initial_concurrency": 3},
+            {"scale_up_factor": 1.0},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScalingPolicy(**kwargs).validate()
+
+
+class TestScaler:
+    def test_zero_pending_scales_to_zero(self):
+        scaler = ProcessingPressureScaler(partitions=16)
+        assert scaler.next_concurrency(backlog=0, in_flight=0, current=8) == 0
+
+    def test_large_backlog_scales_up_multiplicatively(self):
+        scaler = ProcessingPressureScaler(ScalingPolicy(scale_up_factor=3.0), partitions=128)
+        assert scaler.next_concurrency(backlog=5000, in_flight=3, current=3) == 9
+        assert scaler.next_concurrency(backlog=5000, in_flight=9, current=9) == 27
+
+    def test_concurrency_never_exceeds_partitions(self):
+        scaler = ProcessingPressureScaler(ScalingPolicy(max_concurrency=128), partitions=8)
+        assert scaler.concurrency_ceiling == 8
+        assert scaler.next_concurrency(backlog=10_000, in_flight=0, current=8) == 8
+
+    def test_concurrency_never_exceeds_policy_max(self):
+        scaler = ProcessingPressureScaler(ScalingPolicy(max_concurrency=16), partitions=512)
+        assert scaler.next_concurrency(backlog=10_000, in_flight=0, current=16) == 16
+
+    def test_small_backlog_scales_down(self):
+        scaler = ProcessingPressureScaler(partitions=128)
+        new = scaler.next_concurrency(backlog=10, in_flight=50, current=128)
+        assert new < 128
+        assert new >= 1
+
+
+class TestTriggerScalingSimulator:
+    """Reproduces the shape of Figure 4 in the paper."""
+
+    @pytest.fixture(scope="class")
+    def figure4_samples(self):
+        simulator = TriggerScalingSimulator(
+            num_tasks=5000, task_duration_seconds=30.0, partitions=128, batch_size=1
+        )
+        return simulator, simulator.run()
+
+    def test_scales_to_128_within_five_minutes(self, figure4_samples):
+        simulator, samples = figure4_samples
+        assert simulator.peak_concurrency(samples) == 128
+        reached = simulator.time_to_reach(samples, 128)
+        assert reached is not None and reached <= 300.0
+
+    def test_workload_completes_in_paper_timeframe(self, figure4_samples):
+        """Figure 4's x-axis runs to 1500 s; the backlog drains before that."""
+        simulator, samples = figure4_samples
+        assert 900.0 <= simulator.completion_time(samples) <= 1600.0
+        assert samples[-1].queue_depth == 0
+        assert samples[-1].completed == 5000
+
+    def test_scales_down_before_completion(self, figure4_samples):
+        simulator, samples = figure4_samples
+        completion = simulator.completion_time(samples)
+        tail = [s for s in samples if s.time_seconds >= completion - 90]
+        assert any(s.concurrent_invocations < 128 for s in tail)
+
+    def test_queue_depth_is_monotonically_decreasing_without_arrivals(self, figure4_samples):
+        _, samples = figure4_samples
+        depths = [s.queue_depth for s in samples]
+        assert all(a >= b for a, b in zip(depths, depths[1:]))
+
+    def test_fewer_partitions_bound_concurrency_and_stretch_completion(self):
+        small = TriggerScalingSimulator(
+            num_tasks=500, task_duration_seconds=30.0, partitions=8, batch_size=1
+        )
+        samples = small.run()
+        assert small.peak_concurrency(samples) <= 8
+        large = TriggerScalingSimulator(
+            num_tasks=500, task_duration_seconds=30.0, partitions=64, batch_size=1
+        )
+        assert large.completion_time(large.run()) < small.completion_time(samples)
+
+    def test_arrival_function_keeps_feeding_queue(self):
+        simulator = TriggerScalingSimulator(
+            num_tasks=0,
+            task_duration_seconds=5.0,
+            partitions=8,
+            batch_size=1,
+            arrival_fn=lambda t: 2 if t <= 60 else 0,
+        )
+        samples = simulator.run(max_seconds=400)
+        assert samples[-1].completed == 120
+        assert simulator.peak_concurrency(samples) > 1
+
+    def test_larger_batches_complete_sooner(self):
+        batch1 = TriggerScalingSimulator(
+            num_tasks=1000, task_duration_seconds=10.0, partitions=16, batch_size=1
+        )
+        batch10 = TriggerScalingSimulator(
+            num_tasks=1000, task_duration_seconds=10.0, partitions=16, batch_size=10
+        )
+        assert batch10.completion_time(batch10.run()) < batch1.completion_time(batch1.run())

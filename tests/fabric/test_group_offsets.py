@@ -1,0 +1,128 @@
+"""Tests for the consumer-group coordinator and offset store."""
+
+import pytest
+
+from repro.fabric.errors import IllegalGenerationError
+from repro.fabric.group import ConsumerGroupCoordinator, range_assign
+from repro.fabric.offsets import OffsetStore
+
+
+class TestRangeAssign:
+    def test_assignment_covers_all_partitions_exactly_once(self):
+        members = ["m1", "m2", "m3"]
+        partitions = [("t", i) for i in range(8)]
+        assignment = range_assign(members, partitions)
+        assigned = [tp for tps in assignment.values() for tp in tps]
+        assert sorted(assigned) == sorted(partitions)
+        assert len(assigned) == len(set(assigned))
+
+    def test_balanced_within_one_partition(self):
+        assignment = range_assign(["a", "b", "c"], [("t", i) for i in range(10)])
+        sizes = sorted(len(v) for v in assignment.values())
+        assert sizes == [3, 3, 4]
+
+    def test_more_members_than_partitions_leaves_some_idle(self):
+        assignment = range_assign(["a", "b", "c", "d"], [("t", 0), ("t", 1)])
+        empty = [m for m, tps in assignment.items() if not tps]
+        assert len(empty) == 2
+
+    def test_empty_inputs(self):
+        assert range_assign([], [("t", 0)]) == {}
+        assert range_assign(["a"], []) == {"a": []}
+
+
+class TestCoordinator:
+    def test_join_assigns_all_partitions_to_single_member(self):
+        coordinator = ConsumerGroupCoordinator()
+        partitions = [("t", i) for i in range(4)]
+        member, generation, assignment = coordinator.join("g", "c1", ["t"], partitions)
+        assert generation == 1
+        assert sorted(assignment) == partitions
+
+    def test_second_join_rebalances_and_bumps_generation(self):
+        coordinator = ConsumerGroupCoordinator()
+        partitions = [("t", i) for i in range(4)]
+        m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
+        m2, generation, _ = coordinator.join("g", "c2", ["t"], partitions)
+        assert generation == 2
+        a1 = set(coordinator.assignment("g", m1))
+        a2 = set(coordinator.assignment("g", m2))
+        assert a1 | a2 == set(partitions)
+        assert a1.isdisjoint(a2)
+
+    def test_leave_redistributes_partitions(self):
+        coordinator = ConsumerGroupCoordinator()
+        partitions = [("t", i) for i in range(4)]
+        m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
+        m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        coordinator.leave("g", m1, partitions)
+        assert sorted(coordinator.assignment("g", m2)) == partitions
+
+    def test_heartbeat_with_stale_generation_rejected(self):
+        coordinator = ConsumerGroupCoordinator()
+        partitions = [("t", 0)]
+        m1, gen1, _ = coordinator.join("g", "c1", ["t"], partitions)
+        coordinator.join("g", "c2", ["t"], partitions)
+        with pytest.raises(IllegalGenerationError):
+            coordinator.heartbeat("g", m1, gen1)
+
+    def test_expired_members_are_evicted(self):
+        coordinator = ConsumerGroupCoordinator(session_timeout=10.0)
+        partitions = [("t", 0), ("t", 1)]
+        m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
+        m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        member = coordinator._groups["g"].members[m1]
+        member.last_heartbeat -= 100.0
+        expired = coordinator.expire_members("g", partitions)
+        assert expired == [m1]
+        assert sorted(coordinator.assignment("g", m2)) == partitions
+
+    def test_describe_unknown_group(self):
+        coordinator = ConsumerGroupCoordinator()
+        assert coordinator.describe("nope")["members"] == []
+        assert coordinator.generation("nope") == 0
+
+    def test_validate_generation_unknown_member(self):
+        coordinator = ConsumerGroupCoordinator()
+        coordinator.join("g", "c1", ["t"], [("t", 0)])
+        with pytest.raises(IllegalGenerationError):
+            coordinator.validate_generation("g", "ghost", 1)
+
+
+class TestOffsetStore:
+    def test_commit_and_read_back(self):
+        store = OffsetStore()
+        store.commit("g", "t", 0, 42, metadata="checkpoint")
+        assert store.committed("g", "t", 0) == 42
+        entry = store.committed_entry("g", "t", 0)
+        assert entry.metadata == "checkpoint"
+
+    def test_unknown_group_returns_none(self):
+        assert OffsetStore().committed("g", "t", 0) is None
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            OffsetStore().commit("g", "t", 0, -1)
+
+    def test_group_offsets_filters_by_group(self):
+        store = OffsetStore()
+        store.commit("g1", "t", 0, 1)
+        store.commit("g1", "t", 1, 2)
+        store.commit("g2", "t", 0, 9)
+        assert store.group_offsets("g1") == {("t", 0): 1, ("t", 1): 2}
+
+    def test_reset_group_removes_commits(self):
+        store = OffsetStore()
+        store.commit("g", "a", 0, 1)
+        store.commit("g", "b", 0, 2)
+        assert store.reset_group("g", topic="a") == 1
+        assert store.committed("g", "a", 0) is None
+        assert store.committed("g", "b", 0) == 2
+
+    def test_lag_computation(self):
+        store = OffsetStore()
+        assert store.lag("g", "t", 0, log_end_offset=10) == 10
+        store.commit("g", "t", 0, 4)
+        assert store.lag("g", "t", 0, log_end_offset=10) == 6
+        store.commit("g", "t", 0, 15)
+        assert store.lag("g", "t", 0, log_end_offset=10) == 0

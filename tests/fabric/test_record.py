@@ -1,0 +1,106 @@
+"""Tests for event records, batches and serde."""
+
+import json
+
+import pytest
+
+from repro.fabric.record import EventRecord, RecordBatch, StoredRecord
+from repro.fabric.serde import deserialize, serialize, serialized_size
+
+
+class TestEventRecord:
+    def test_size_includes_framing_overhead(self):
+        record = EventRecord(value=b"x" * 100)
+        assert record.size_bytes() == 100 + 24
+
+    def test_size_includes_key_and_headers(self):
+        bare = EventRecord(value=b"x" * 10)
+        keyed = EventRecord(value=b"x" * 10, key="instrument-7")
+        with_headers = EventRecord(value=b"x" * 10, headers={"source": "sdl"})
+        assert keyed.size_bytes() > bare.size_bytes()
+        assert with_headers.size_bytes() > bare.size_bytes()
+
+    def test_record_ids_are_unique_and_increasing(self):
+        a = EventRecord(value=1)
+        b = EventRecord(value=2)
+        assert b.record_id > a.record_id
+
+    def test_with_headers_merges_without_mutating_original(self):
+        record = EventRecord(value="v", headers={"a": "1"})
+        updated = record.with_headers(b="2")
+        assert updated.headers == {"a": "1", "b": "2"}
+        assert record.headers == {"a": "1"}
+        assert updated.record_id == record.record_id
+
+    def test_dict_round_trip(self):
+        record = EventRecord(value={"event_type": "created"}, key="file-1",
+                             headers={"fs": "lustre"})
+        restored = EventRecord.from_dict(record.to_dict())
+        assert restored.value == record.value
+        assert restored.key == record.key
+        assert dict(restored.headers) == dict(record.headers)
+        assert restored.timestamp == pytest.approx(record.timestamp)
+
+    def test_to_json_is_valid_json(self):
+        record = EventRecord(value={"a": 1}, key="k")
+        parsed = json.loads(record.to_json())
+        assert parsed["value"] == {"a": 1}
+
+
+class TestStoredRecord:
+    def test_delegates_to_wrapped_record(self):
+        record = EventRecord(value={"x": 1}, key="k")
+        stored = StoredRecord(offset=5, record=record, append_time=record.timestamp)
+        assert stored.value == {"x": 1}
+        assert stored.key == "k"
+        assert stored.offset == 5
+        assert stored.size_bytes() == record.size_bytes()
+
+
+class TestRecordBatch:
+    def test_batch_accumulates_until_max_bytes(self):
+        batch = RecordBatch("t", 0, max_bytes=300)
+        added = 0
+        while batch.try_append(EventRecord(value=b"x" * 76)):  # 100 B each
+            added += 1
+            if added > 10:
+                break
+        assert added == 3
+        assert len(batch) == 3
+
+    def test_empty_batch_accepts_oversize_record(self):
+        batch = RecordBatch("t", 0, max_bytes=10)
+        assert batch.try_append(EventRecord(value=b"x" * 1000))
+        assert not batch.try_append(EventRecord(value=b"y"))
+
+    def test_of_builds_batch_from_iterable(self):
+        records = [EventRecord(value=i) for i in range(5)]
+        batch = RecordBatch.of("t", 1, records)
+        assert len(batch) == 5
+        assert list(batch) == records
+        assert batch.partition == 1
+
+
+class TestSerde:
+    @pytest.mark.parametrize(
+        "value",
+        [None, b"raw-bytes", "text", {"a": 1, "b": [1, 2]}, [1, 2, 3], 42, 3.14, True],
+    )
+    def test_round_trip_preserves_json_values(self, value):
+        restored = deserialize(serialize(value))
+        if isinstance(value, bytes):
+            assert restored in (value, value.decode("utf-8"))
+        elif isinstance(value, tuple):
+            assert restored == list(value)
+        else:
+            assert restored == value
+
+    def test_serialized_size_matches_serialize_length_for_objects(self):
+        value = {"payload": "x" * 100, "n": 7}
+        assert serialized_size(value) == len(serialize(value))
+
+    def test_serialized_size_fast_paths(self):
+        assert serialized_size(None) == 0
+        assert serialized_size(b"abcd") == 4
+        assert serialized_size("abcd") == 4
+        assert serialized_size(12345) == 5

@@ -1,0 +1,224 @@
+"""Tests that the evaluation drivers reproduce the paper's headline shapes."""
+
+import pytest
+
+from repro.simulation.evaluation import (
+    TABLE3_EXPERIMENTS,
+    run_figure3_series,
+    run_figure5_multitenancy,
+    run_full_table3,
+    run_table3_experiment,
+    run_trigger_throughput,
+)
+from repro.simulation.workload import (
+    USE_CASE_PROFILES,
+    PoissonArrivalProcess,
+    SyntheticEventGenerator,
+    use_case_workload,
+)
+from repro.simulation.kernel import SimulationKernel
+
+#: Paper Table III values used as reference shapes (producer throughput,
+#: local client, events/s).
+PAPER_LOCAL_PRODUCER_THROUGHPUT = {
+    1: 4_289_000, 2: 195_000, 3: 161_000, 4: 65_000, 5: 43_000,
+    6: 202_000, 7: 238_000, 8: 319_000, 9: 246_000,
+}
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return {row.config.index: row for row in run_full_table3()}
+
+
+class TestTable3:
+    def test_nine_experiments_defined(self):
+        assert [c.index for c in TABLE3_EXPERIMENTS] == list(range(1, 10))
+
+    def test_throughput_within_25_percent_of_paper(self, table3):
+        for index, paper_value in PAPER_LOCAL_PRODUCER_THROUGHPUT.items():
+            measured = table3[index].local.producer_throughput
+            assert measured == pytest.approx(paper_value, rel=0.25), f"exp {index}"
+
+    def test_headline_rate_over_4_2M_produced_9_6M_consumed(self, table3):
+        assert table3[1].local.producer_throughput >= 4.2e6
+        assert table3[1].remote.producer_throughput >= 3.5e6
+        assert table3[1].local.consumer_throughput >= 9.6e6
+        assert table3[1].remote.consumer_throughput >= 9.6e6
+
+    def test_consumers_read_roughly_twice_as_fast_as_producers(self, table3):
+        row = table3[2]
+        assert 1.5 <= row.local.consumer_throughput / row.local.producer_throughput <= 2.5
+
+    def test_acks_degrade_throughput_in_order(self, table3):
+        assert (
+            table3[2].local.producer_throughput
+            > table3[3].local.producer_throughput
+            > table3[4].local.producer_throughput
+        )
+        # acks=all costs roughly 3x (195K -> 65K in the paper).
+        assert table3[2].local.producer_throughput / table3[4].local.producer_throughput == \
+            pytest.approx(3.0, rel=0.2)
+
+    def test_acks_increase_latency(self, table3):
+        assert table3[3].local.median_latency_ms > table3[2].local.median_latency_ms
+        assert table3[4].local.median_latency_ms > table3[3].local.median_latency_ms + 50
+
+    def test_larger_events_lower_throughput(self, table3):
+        assert (
+            table3[1].local.producer_throughput
+            > table3[2].local.producer_throughput
+            > table3[5].local.producer_throughput
+        )
+
+    def test_partitions_raise_tail_latency(self, table3):
+        assert table3[6].local.p99_latency_ms > table3[2].local.p99_latency_ms + 80
+        assert table3[6].local.median_latency_ms < table3[2].local.median_latency_ms
+
+    def test_scale_up_improves_local_more_than_remote(self, table3):
+        local_gain = (
+            table3[7].local.producer_throughput / table3[6].local.producer_throughput
+        )
+        remote_gain = (
+            table3[7].remote.producer_throughput / table3[6].remote.producer_throughput
+        )
+        assert local_gain > remote_gain
+        assert local_gain >= 1.1
+
+    def test_scale_out_beats_scale_up(self, table3):
+        assert table3[8].local.producer_throughput > table3[7].local.producer_throughput
+        assert table3[8].remote.producer_throughput > table3[7].remote.producer_throughput
+        assert table3[8].remote.median_latency_ms < table3[7].remote.median_latency_ms
+
+    def test_replication_4_costs_writes_not_reads(self, table3):
+        write_ratio = table3[9].local.producer_throughput / table3[8].local.producer_throughput
+        read_ratio = table3[9].local.consumer_throughput / table3[8].local.consumer_throughput
+        assert 0.7 <= write_ratio <= 0.85
+        assert read_ratio == pytest.approx(1.0, abs=0.02)
+
+    def test_remote_median_latency_reflects_wan_rtt(self, table3):
+        for index in (2, 3, 5, 6):
+            delta = (
+                table3[index].remote.median_latency_ms
+                - table3[index].local.median_latency_ms
+            )
+            assert 20.0 <= delta <= 50.0
+
+    def test_as_dict_contains_all_columns(self, table3):
+        row = table3[2].as_dict()
+        for column in ("local_prod_thru", "local_med_lat_ms", "local_p99_lat_ms",
+                       "local_cons_thru", "remote_prod_thru", "remote_cons_thru"):
+            assert column in row
+
+    def test_fewer_producers_lower_throughput_and_latency(self):
+        config = TABLE3_EXPERIMENTS[1]
+        few = run_table3_experiment(config, num_producers=20)
+        many = run_table3_experiment(config, num_producers=100)
+        assert few.local.producer_throughput < many.local.producer_throughput
+        assert few.local.median_latency_ms < many.local.median_latency_ms
+
+
+class TestFigure3:
+    def test_six_baseline_curves(self):
+        series = run_figure3_series()
+        assert sorted(series) == [1, 2, 3, 4, 5, 6]
+        for points in series.values():
+            assert [p.num_producers for p in points] == [20, 40, 60, 80, 100]
+
+    def test_throughput_monotone_and_latency_rises(self):
+        series = run_figure3_series()
+        for points in series.values():
+            throughputs = [p.throughput for p in points]
+            medians = [p.median_latency_ms for p in points]
+            assert all(a <= b + 1e-6 for a, b in zip(throughputs, throughputs[1:]))
+            assert medians[-1] >= medians[0]
+
+    def test_32B_curve_has_highest_throughput(self):
+        series = run_figure3_series()
+        assert max(p.throughput for p in series[1]) > 3e6
+        assert max(p.throughput for p in series[5]) < 1e5
+
+
+class TestFigure5:
+    def test_producer_saturates_at_four_topics(self):
+        points = {p.num_topics: p for p in run_figure5_multitenancy()}
+        assert points[4].producer_throughput > points[1].producer_throughput * 2.5
+        # Flat beyond four topics.
+        assert points[8].producer_throughput == pytest.approx(
+            points[4].producer_throughput, rel=0.02
+        )
+        assert points[32].producer_throughput == pytest.approx(
+            points[4].producer_throughput, rel=0.02
+        )
+        # Near the paper's 273K events/s plateau.
+        assert points[4].producer_throughput == pytest.approx(273_000, rel=0.25)
+
+    def test_consumer_saturates_at_sixteen_topics(self):
+        points = {p.num_topics: p for p in run_figure5_multitenancy()}
+        assert points[16].consumer_throughput > points[4].consumer_throughput
+        assert points[32].consumer_throughput == pytest.approx(
+            points[16].consumer_throughput, rel=0.02
+        )
+        assert points[16].consumer_throughput == pytest.approx(846_000, rel=0.25)
+
+
+class TestTriggerThroughput:
+    def test_paper_magnitudes(self):
+        points = {
+            (p.partitions, p.event_size_bytes): p.events_per_second
+            for p in run_trigger_throughput()
+        }
+        assert points[(1, 32)] == pytest.approx(22_000, rel=0.2)
+        assert points[(1, 1024)] == pytest.approx(7_000, rel=0.25)
+        assert points[(1, 4096)] == pytest.approx(2_000, rel=0.25)
+        assert points[(8, 32)] == pytest.approx(147_000, rel=0.25)
+        assert points[(8, 1024)] == pytest.approx(39_000, rel=0.3)
+        assert points[(8, 4096)] == pytest.approx(12_000, rel=0.25)
+
+    def test_eight_partitions_roughly_six_times_faster(self):
+        points = {
+            (p.partitions, p.event_size_bytes): p.events_per_second
+            for p in run_trigger_throughput()
+        }
+        for size in (32, 1024, 4096):
+            ratio = points[(8, size)] / points[(1, size)]
+            assert 5.0 <= ratio <= 7.0
+
+
+class TestWorkloadGenerators:
+    def test_synthetic_event_size_close_to_target(self):
+        from repro.fabric.record import EventRecord
+
+        generator = SyntheticEventGenerator(1024)
+        sizes = [EventRecord(value=generator.next_event()).size_bytes() for _ in range(20)]
+        assert all(800 <= s <= 1400 for s in sizes)
+
+    def test_use_case_profiles_match_table1(self):
+        assert set(USE_CASE_PROFILES) == {
+            "sdl", "data_automation", "scheduling", "epidemic", "workflow",
+        }
+        assert USE_CASE_PROFILES["scheduling"].events_per_hour_per_resource == 1e4
+        assert USE_CASE_PROFILES["data_automation"].mean_event_size_bytes == 4096
+        assert USE_CASE_PROFILES["sdl"].mean_event_size_bytes == 512
+
+    def test_use_case_workload_rate(self):
+        events = list(use_case_workload("scheduling", num_resources=2,
+                                        duration_seconds=60.0))
+        expected = USE_CASE_PROFILES["scheduling"].events_per_second(2) * 60.0
+        assert len(events) == pytest.approx(expected, rel=0.4)
+        assert all(e["time"] < 60.0 for e in events)
+
+    def test_poisson_arrival_process_on_kernel(self):
+        kernel = SimulationKernel()
+        arrivals = []
+        PoissonArrivalProcess(
+            kernel, rate_per_second=5.0, callback=lambda t, e: arrivals.append(t),
+            duration_seconds=100.0,
+        )
+        kernel.run(until=100.0)
+        assert len(arrivals) == pytest.approx(500, rel=0.3)
+        assert all(0 <= t <= 100.0 for t in arrivals)
+
+    def test_generator_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            SyntheticEventGenerator(4)

@@ -1,0 +1,150 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simulation.kernel import SimulationKernel
+
+
+class TestScheduling:
+    def test_time_advances_in_event_order(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.schedule(5.0, lambda: seen.append(("b", kernel.now)))
+        kernel.schedule(1.0, lambda: seen.append(("a", kernel.now)))
+        kernel.schedule(9.0, lambda: seen.append(("c", kernel.now)))
+        end = kernel.run()
+        assert seen == [("a", 1.0), ("b", 5.0), ("c", 9.0)]
+        assert end == 9.0
+
+    def test_equal_times_run_fifo(self):
+        kernel = SimulationKernel()
+        seen = []
+        for label in "abc":
+            kernel.schedule(2.0, lambda label=label: seen.append(label))
+        kernel.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        kernel = SimulationKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        kernel = SimulationKernel()
+        seen = []
+        kernel.schedule(1.0, lambda: seen.append(1))
+        kernel.schedule(100.0, lambda: seen.append(2))
+        kernel.run(until=10.0)
+        assert seen == [1]
+        assert kernel.now == 10.0
+
+    def test_runaway_protection(self):
+        kernel = SimulationKernel()
+
+        def reschedule():
+            kernel.schedule(0.0, reschedule)
+
+        kernel.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            kernel.run(max_events=100)
+
+
+class TestProcesses:
+    def test_process_yields_delays(self):
+        kernel = SimulationKernel()
+        marks = []
+
+        def worker():
+            marks.append(kernel.now)
+            yield 3.0
+            marks.append(kernel.now)
+            yield 2.0
+            marks.append(kernel.now)
+
+        kernel.spawn(worker())
+        kernel.run()
+        assert marks == [0.0, 3.0, 5.0]
+        assert kernel.all_finished()
+
+    def test_process_return_value_captured(self):
+        kernel = SimulationKernel()
+
+        def worker():
+            yield 1.0
+            return 42
+
+        process = kernel.spawn(worker())
+        kernel.run()
+        assert process.finished and process.result == 42
+
+    def test_unsupported_yield_raises(self):
+        kernel = SimulationKernel()
+
+        def worker():
+            yield "nonsense"
+
+        kernel.spawn(worker())
+        with pytest.raises(TypeError):
+            kernel.run()
+
+    def test_many_interleaved_processes(self):
+        kernel = SimulationKernel()
+        completions = []
+
+        def worker(delay, name):
+            yield delay
+            completions.append((kernel.now, name))
+
+        for i in range(10):
+            kernel.spawn(worker(10 - i, f"w{i}"), name=f"w{i}")
+        kernel.run()
+        assert [name for _, name in completions] == [f"w{9 - i}" for i in range(10)]
+
+
+class TestResources:
+    def test_resource_limits_concurrency(self):
+        kernel = SimulationKernel()
+        resource = kernel.resource(capacity=2, name="workers")
+        finish_times = []
+
+        def task():
+            yield kernel.acquire(resource)
+            yield 10.0
+            yield kernel.release(resource)
+            finish_times.append(kernel.now)
+
+        for _ in range(4):
+            kernel.spawn(task())
+        kernel.run()
+        # Two run immediately, two must wait for a slot.
+        assert sorted(finish_times) == [10.0, 10.0, 20.0, 20.0]
+
+    def test_utilization_accounting(self):
+        kernel = SimulationKernel()
+        resource = kernel.resource(capacity=1)
+
+        def task():
+            yield kernel.acquire(resource)
+            yield 5.0
+            yield kernel.release(resource)
+            yield 5.0  # idle tail
+
+        kernel.spawn(task())
+        kernel.run()
+        assert resource.utilization() == pytest.approx(0.5, abs=0.05)
+
+    def test_release_without_acquire_raises(self):
+        kernel = SimulationKernel()
+        resource = kernel.resource(capacity=1)
+
+        def bad():
+            yield kernel.release(resource)
+
+        kernel.spawn(bad())
+        with pytest.raises(RuntimeError):
+            kernel.run()
+
+    def test_invalid_capacity(self):
+        kernel = SimulationKernel()
+        with pytest.raises(ValueError):
+            kernel.resource(capacity=0)

@@ -1,0 +1,211 @@
+"""Tests for the network, capacity, latency and throughput models."""
+
+import pytest
+
+from repro.simulation.client_model import LatencyModel, ProduceWorkload, ThroughputModel
+from repro.simulation.cluster_model import (
+    CLUSTER_CONFIGS,
+    ClusterCapacityModel,
+    ClusterSpec,
+)
+from repro.simulation.metrics import (
+    LatencyStats,
+    ThroughputMeasurement,
+    format_events_per_second,
+)
+from repro.simulation.network import ClientLocation, NetworkModel
+
+
+class TestNetworkModel:
+    def test_remote_rtt_matches_paper(self):
+        network = NetworkModel()
+        assert 46.0 <= network.rtt_ms("remote") <= 47.0
+        assert network.rtt_ms("local") < 5.0
+
+    def test_remote_rtt_low_deviation(self):
+        network = NetworkModel()
+        samples = network.sample_rtt_ms(ClientLocation.REMOTE, size=1000)
+        assert abs(samples.mean() - 46.5) < 1.0
+        assert samples.std() / samples.mean() < 0.01
+
+    def test_transfer_time_scales_with_payload(self):
+        network = NetworkModel()
+        small = network.one_way_ms("remote", 1024)
+        large = network.one_way_ms("remote", 1024 * 1024)
+        assert large > small
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().rtt_ms("moon")
+
+
+class TestClusterSpecs:
+    def test_table2_configurations(self):
+        assert CLUSTER_CONFIGS["baseline"].num_brokers == 2
+        assert CLUSTER_CONFIGS["baseline"].vcpus_per_broker == 2
+        assert CLUSTER_CONFIGS["baseline"].memory_gb_per_broker == 8
+        assert CLUSTER_CONFIGS["scale-up"].vcpus_per_broker == 4
+        assert CLUSTER_CONFIGS["scale-up"].memory_gb_per_broker == 16
+        assert CLUSTER_CONFIGS["scale-out"].num_brokers == 4
+
+    def test_monthly_cost_of_smallest_cluster_near_70_usd(self):
+        spec = ClusterSpec("minimal", num_brokers=2, instance_type="kafka.t3.small")
+        cost = ClusterCapacityModel(spec).monthly_broker_cost_usd()
+        assert 60.0 <= cost <= 80.0
+
+
+class TestCapacityModel:
+    @pytest.fixture
+    def baseline(self):
+        return ClusterCapacityModel(CLUSTER_CONFIGS["baseline"])
+
+    def test_small_events_are_record_bound_large_are_byte_bound(self, baseline):
+        assert baseline.produce_is_record_bound(32)
+        assert not baseline.produce_is_record_bound(1024)
+        small = baseline.produce_capacity(event_size_bytes=32)
+        large = baseline.produce_capacity(event_size_bytes=4096)
+        assert small > 20 * large
+
+    def test_reads_are_roughly_twice_writes(self, baseline):
+        for size in (1024, 4096):
+            write = baseline.produce_capacity(event_size_bytes=size)
+            read = baseline.consume_capacity(event_size_bytes=size)
+            assert 1.5 <= read / write <= 2.5
+
+    def test_acks_ordering(self, baseline):
+        acks0 = baseline.produce_capacity(event_size_bytes=1024, acks=0)
+        acks1 = baseline.produce_capacity(event_size_bytes=1024, acks=1)
+        acks_all = baseline.produce_capacity(event_size_bytes=1024, acks="all")
+        assert acks0 > acks1 > acks_all
+        assert acks_all / acks0 == pytest.approx(0.33, abs=0.05)
+
+    def test_replication_costs_writes_not_reads(self, baseline):
+        rf2 = baseline.produce_capacity(event_size_bytes=1024, replication_factor=2)
+        rf4 = baseline.produce_capacity(event_size_bytes=1024, replication_factor=4)
+        assert 0.7 <= rf4 / rf2 <= 0.85
+        assert baseline.consume_capacity(event_size_bytes=1024) == pytest.approx(
+            baseline.consume_capacity(event_size_bytes=1024)
+        )
+
+    def test_scale_out_beats_scale_up_for_writes(self):
+        up = ClusterCapacityModel(CLUSTER_CONFIGS["scale-up"])
+        out = ClusterCapacityModel(CLUSTER_CONFIGS["scale-out"])
+        kwargs = dict(event_size_bytes=1024, acks=0, replication_factor=2, partitions=4)
+        assert out.produce_capacity(**kwargs) > up.produce_capacity(**kwargs)
+
+    def test_remote_writes_slightly_slower_reads_slightly_faster(self, baseline):
+        local_w = baseline.produce_capacity(event_size_bytes=1024, location="local")
+        remote_w = baseline.produce_capacity(event_size_bytes=1024, location="remote")
+        assert remote_w < local_w
+        local_r = baseline.consume_capacity(event_size_bytes=1024, location="local")
+        remote_r = baseline.consume_capacity(event_size_bytes=1024, location="remote")
+        assert remote_r >= local_r
+
+    def test_more_partitions_help_slightly(self, baseline):
+        p2 = baseline.produce_capacity(event_size_bytes=1024, partitions=2)
+        p4 = baseline.produce_capacity(event_size_bytes=1024, partitions=4)
+        assert 1.0 < p4 / p2 < 1.15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"event_size_bytes": 0},
+            {"event_size_bytes": 1024, "replication_factor": 0},
+            {"event_size_bytes": 1024, "acks": "two"},
+            {"event_size_bytes": 1024, "partitions": 0},
+        ],
+    )
+    def test_invalid_inputs_rejected(self, baseline, kwargs):
+        with pytest.raises(ValueError):
+            baseline.produce_capacity(**kwargs)
+
+
+class TestThroughputAndLatencyModels:
+    @pytest.fixture
+    def models(self):
+        spec = CLUSTER_CONFIGS["baseline"]
+        capacity = ClusterCapacityModel(spec)
+        return ThroughputModel(capacity), LatencyModel(spec)
+
+    def test_throughput_saturates_with_producer_count(self, models):
+        throughput_model, _ = models
+        workload = ProduceWorkload(num_producers=20)
+        low = throughput_model.achieved_throughput(workload)
+        high = throughput_model.achieved_throughput(workload.with_producers(100))
+        assert high > low
+        assert high == pytest.approx(
+            throughput_model.produce_capacity(workload), rel=1e-6
+        )
+
+    def test_utilization_bounded(self, models):
+        throughput_model, _ = models
+        assert throughput_model.utilization(ProduceWorkload(num_producers=1)) < 0.1
+        assert throughput_model.utilization(ProduceWorkload(num_producers=500)) == 1.0
+
+    def test_latency_rises_with_utilization(self, models):
+        _, latency_model = models
+        workload = ProduceWorkload()
+        low = latency_model.median_latency_ms(workload, 0.2, record_bound=False)
+        high = latency_model.median_latency_ms(workload, 1.0, record_bound=False)
+        assert high > low
+
+    def test_remote_latency_includes_wan_rtt(self, models):
+        _, latency_model = models
+        local = latency_model.median_latency_ms(
+            ProduceWorkload(location=ClientLocation.LOCAL), 1.0, record_bound=False
+        )
+        remote = latency_model.median_latency_ms(
+            ProduceWorkload(location=ClientLocation.REMOTE), 1.0, record_bound=False
+        )
+        assert 25.0 <= remote - local <= 45.0
+
+    def test_acks_all_latency_penalty(self, models):
+        _, latency_model = models
+        base = latency_model.median_latency_ms(ProduceWorkload(acks=0), 1.0, record_bound=False)
+        alls = latency_model.median_latency_ms(
+            ProduceWorkload(acks="all"), 1.0, record_bound=False
+        )
+        assert 80.0 <= alls - base <= 120.0
+
+    def test_p99_grows_with_partitions_per_broker(self, models):
+        _, latency_model = models
+        p2 = latency_model.latency_stats(ProduceWorkload(partitions=2), 1.0, record_bound=False)
+        p4 = latency_model.latency_stats(ProduceWorkload(partitions=4), 1.0, record_bound=False)
+        assert p4.p99_ms > p2.p99_ms + 100
+        assert p4.median_ms <= p2.median_ms  # medians improve slightly
+
+    def test_unknown_acks_rejected(self, models):
+        _, latency_model = models
+        with pytest.raises(ValueError):
+            latency_model.median_latency_ms(ProduceWorkload(acks=5), 1.0, record_bound=False)
+
+
+class TestMetrics:
+    def test_latency_stats_from_samples(self):
+        stats = LatencyStats.from_samples(list(range(1, 101)))
+        assert stats.median_ms == pytest.approx(50.5)
+        assert stats.p99_ms == pytest.approx(99.01)
+        assert stats.count == 100
+
+    def test_empty_samples(self):
+        assert LatencyStats.from_samples([]).count == 0
+
+    def test_mean_of_rounds(self):
+        rounds = [
+            LatencyStats(median_ms=10, p99_ms=100, mean_ms=20, count=5),
+            LatencyStats(median_ms=20, p99_ms=200, mean_ms=40, count=5),
+            LatencyStats(median_ms=0, p99_ms=0, mean_ms=0, count=0),  # ignored
+        ]
+        merged = LatencyStats.mean_of_rounds(rounds)
+        assert merged.median_ms == 15 and merged.p99_ms == 150 and merged.count == 10
+
+    def test_throughput_definition_matches_paper(self):
+        measurement = ThroughputMeasurement.from_agent_windows(
+            events=1000, windows=[(0.0, 5.0), (1.0, 10.0)]
+        )
+        assert measurement.events_per_second == pytest.approx(100.0)
+
+    def test_format_events_per_second(self):
+        assert format_events_per_second(4_289_000) == "4,289 K"
+        assert format_events_per_second(195_000) == "195 K"
+        assert format_events_per_second(512) == "512"

@@ -1,0 +1,183 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.auth.acl import AclStore, Operation
+from repro.fabric.group import range_assign
+from repro.fabric.partition import PartitionLog
+from repro.fabric.record import EventRecord
+from repro.fabric.retention import compact
+from repro.faas.patterns import matches_pattern
+from repro.faas.scaling import ProcessingPressureScaler, ScalingPolicy
+from repro.simulation.kernel import SimulationKernel
+from repro.simulation.metrics import LatencyStats
+
+# --------------------------------------------------------------------------- #
+# Partition log invariants
+# --------------------------------------------------------------------------- #
+values = st.one_of(st.integers(), st.text(max_size=20), st.binary(max_size=64))
+
+
+@given(st.lists(values, min_size=1, max_size=60))
+@settings(max_examples=50, deadline=None)
+def test_log_offsets_are_dense_and_ordered(payloads):
+    log = PartitionLog("t", 0)
+    offsets = [log.append(EventRecord(value=v)) for v in payloads]
+    assert offsets == list(range(len(payloads)))
+    fetched = log.fetch(0, max_records=len(payloads))
+    assert [r.value for r in fetched] == payloads
+
+
+@given(st.lists(values, min_size=1, max_size=60), st.integers(min_value=0, max_value=80))
+@settings(max_examples=50, deadline=None)
+def test_truncation_never_renumbers_surviving_records(payloads, cut):
+    log = PartitionLog("t", 0)
+    for value in payloads:
+        log.append(EventRecord(value=value))
+    end_before = log.log_end_offset
+    log.truncate_before(min(cut, end_before))
+    assert log.log_end_offset == end_before
+    for stored in log.read_all():
+        assert payloads[stored.offset] == stored.value
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["k0", "k1", "k2", None]), st.integers()),
+        min_size=1, max_size=80,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_compaction_keeps_latest_value_per_key(entries):
+    log = PartitionLog("t", 0)
+    for key, value in entries:
+        log.append(EventRecord(value=value, key=key))
+    compact(log)
+    survivors = log.read_all()
+    # Offsets stay sorted and unique.
+    offsets = [r.offset for r in survivors]
+    assert offsets == sorted(offsets) and len(offsets) == len(set(offsets))
+    # The surviving value for each key is the last one written.
+    expected = {}
+    for key, value in entries:
+        if key is not None:
+            expected[key] = value
+    surviving_keyed = {r.key: r.value for r in survivors if r.key is not None}
+    assert surviving_keyed == expected
+    # Unkeyed records are never removed.
+    assert sum(1 for r in survivors if r.key is None) == sum(
+        1 for key, _ in entries if key is None
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Consumer-group assignment invariants
+# --------------------------------------------------------------------------- #
+@given(
+    st.lists(st.text(alphabet="abcdef", min_size=1, max_size=4), min_size=1, max_size=8,
+             unique=True),
+    st.integers(min_value=0, max_value=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_range_assignment_is_a_partition_of_the_partitions(members, num_partitions):
+    partitions = [("topic", i) for i in range(num_partitions)]
+    assignment = range_assign(members, partitions)
+    assigned = [tp for tps in assignment.values() for tp in tps]
+    assert sorted(assigned) == sorted(partitions)          # nothing lost or duplicated
+    sizes = sorted(len(tps) for tps in assignment.values())
+    if sizes:
+        assert sizes[-1] - sizes[0] <= 1                   # balanced within one
+
+
+# --------------------------------------------------------------------------- #
+# ACL monotonicity
+# --------------------------------------------------------------------------- #
+operations = st.sampled_from(list(Operation))
+
+
+@given(st.lists(st.tuples(st.sampled_from(["alice", "bob"]), st.sampled_from(["t1", "t2"]),
+                          operations), max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_acl_grant_then_revoke_restores_denial(grants):
+    store = AclStore()
+    for principal, topic, operation in grants:
+        store.grant(principal, topic, [operation])
+        assert store.is_authorized(principal, operation, topic)
+    for principal, topic, operation in grants:
+        store.revoke(principal, topic)
+    for principal, topic, operation in grants:
+        assert not store.is_authorized(principal, operation, topic)
+
+
+# --------------------------------------------------------------------------- #
+# EventBridge pattern algebra
+# --------------------------------------------------------------------------- #
+event_values = st.one_of(st.integers(-100, 100), st.text(max_size=8), st.booleans())
+
+
+@given(st.dictionaries(st.sampled_from("abcd"), event_values, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_empty_pattern_matches_everything_and_literal_self_matches(event):
+    assert matches_pattern(None, event)
+    assert matches_pattern({}, event)
+    # A pattern built from the event itself always matches it.
+    pattern = {key: [value] for key, value in event.items()}
+    assert matches_pattern(pattern, event)
+
+
+@given(st.dictionaries(st.sampled_from("abcd"), st.integers(-50, 50), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_anything_but_is_complement_of_literal(event):
+    key, value = next(iter(event.items()))
+    assert matches_pattern({key: [value]}, event)
+    assert not matches_pattern({key: [{"anything-but": [value]}]}, event)
+
+
+# --------------------------------------------------------------------------- #
+# Scaling policy invariants
+# --------------------------------------------------------------------------- #
+@given(
+    st.integers(min_value=0, max_value=100_000),
+    st.integers(min_value=0, max_value=256),
+    st.integers(min_value=1, max_value=256),
+    st.integers(min_value=1, max_value=512),
+)
+@settings(max_examples=80, deadline=None)
+def test_scaler_output_is_always_within_bounds(backlog, in_flight, current, partitions):
+    scaler = ProcessingPressureScaler(ScalingPolicy(), partitions=partitions)
+    decision = scaler.next_concurrency(backlog, in_flight, current)
+    assert 0 <= decision <= scaler.concurrency_ceiling
+    if backlog + in_flight == 0:
+        assert decision == 0
+    else:
+        assert decision >= 1
+
+
+# --------------------------------------------------------------------------- #
+# DES kernel: time never goes backwards
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_kernel_executes_events_in_nondecreasing_time_order(delays):
+    kernel = SimulationKernel()
+    execution_times = []
+    for delay in delays:
+        kernel.schedule(delay, lambda: execution_times.append(kernel.now))
+    kernel.run()
+    assert execution_times == sorted(execution_times)
+    assert len(execution_times) == len(delays)
+
+
+# --------------------------------------------------------------------------- #
+# Latency statistics
+# --------------------------------------------------------------------------- #
+@given(st.lists(st.floats(min_value=0.0, max_value=10_000.0, allow_nan=False), min_size=1,
+                max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_latency_percentiles_are_ordered_and_bounded(samples):
+    stats = LatencyStats.from_samples(samples)
+    assert min(samples) - 1e-9 <= stats.median_ms <= max(samples) + 1e-9
+    assert stats.median_ms <= stats.p99_ms + 1e-9
+    assert stats.p99_ms <= max(samples) + 1e-9
+    assert stats.count == len(samples)
