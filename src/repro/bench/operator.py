@@ -64,8 +64,15 @@ class BenchmarkOperator:
         num_consumers: int = 4,
         event_size_bytes: int = 1024,
         acks: object = 1,
+        batched: bool = False,
     ) -> FabricRunResult:
-        """Produce ``num_events`` then consume them all, measuring both sides."""
+        """Produce ``num_events`` then consume them all, measuring both sides.
+
+        With ``batched=True`` producers accumulate events with
+        :meth:`FabricProducer.buffer` and deliver whole record batches
+        through the cluster's batched append path; the default sends one
+        record per round-trip (the paper's unbatched client baseline).
+        """
         generator = SyntheticEventGenerator(event_size_bytes)
         producers = [
             FabricProducer(self.cluster, ProducerConfig(acks=acks, client_id=f"producer-{i}"))
@@ -77,8 +84,18 @@ class BenchmarkOperator:
         for index, producer in enumerate(producers):
             share = num_events // num_producers + (1 if index < num_events % num_producers else 0)
             start = time.perf_counter()
-            for _ in range(share):
-                producer.send(topic, generator.next_event())
+            if batched:
+                for _ in range(share):
+                    event = generator.next_event()
+                    try:
+                        producer.buffer(topic, event)
+                    except BufferError:
+                        producer.flush()
+                        producer.buffer(topic, event)
+                producer.flush()
+            else:
+                for _ in range(share):
+                    producer.send(topic, generator.next_event())
             end = time.perf_counter()
             produce_windows.append((start, end))
             latencies_ms.extend(l * 1000.0 for l in producer.metrics.send_latencies)

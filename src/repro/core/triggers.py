@@ -11,7 +11,7 @@ manager here implements the ``PUT /trigger/``, ``GET /triggers/`` and
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.auth.iam import IamService, PolicyStatement
@@ -208,10 +208,11 @@ class TriggerManager:
         unknown = set(updates) - allowed
         if unknown:
             raise ValidationError(f"unknown trigger settings: {sorted(unknown)}")
-        spec = trigger.spec
-        for key, value in updates.items():
-            setattr(spec, key, value)
+        # Validate a copy first: a rejected update must leave the deployed
+        # trigger's spec untouched.
+        spec = replace(trigger.spec, **updates)
         spec.validate()
+        trigger.spec = spec
         mapping = trigger.mapping
         mapping.config = EventSourceConfig(
             batch_size=spec.batch_size,
@@ -270,7 +271,9 @@ class TriggerManager:
         for trigger in self._triggers.values():
             backlog = trigger.mapping.pending_events()
             trigger.concurrency = trigger.scaler.next_concurrency(
-                backlog, in_flight=0, current=max(trigger.concurrency, 1)
+                backlog,
+                in_flight=self.executor.in_flight_for(trigger.spec.function_name),
+                current=max(trigger.concurrency, 1),
             )
             decisions[trigger.trigger_id] = trigger.concurrency
         return decisions

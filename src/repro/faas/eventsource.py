@@ -90,6 +90,9 @@ class EventSourceMapping:
                 auto_offset_reset=self.config.starting_position,
                 enable_auto_commit=False,
                 max_poll_records=self.config.batch_size,
+                # Batch fetches ride the cluster's batched fetch fast path,
+                # byte-capped at the Lambda event-source limit.
+                receive_buffer_bytes=MAX_BATCH_BYTES,
             ),
             principal=principal,
         )

@@ -66,6 +66,7 @@ class LambdaExecutor:
         self.stats = ExecutorStats()
         self._invocation_ids = itertools.count(1)
         self._in_flight = 0
+        self._in_flight_by_function: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -74,7 +75,12 @@ class LambdaExecutor:
         with self._lock:
             return self._in_flight
 
-    def _acquire_slot(self) -> bool:
+    def in_flight_for(self, function_name: str) -> int:
+        """In-flight invocations of one function (per-trigger autoscaling)."""
+        with self._lock:
+            return self._in_flight_by_function.get(function_name, 0)
+
+    def _acquire_slot(self, function_name: str) -> bool:
         with self._lock:
             if (
                 self.reserved_concurrency is not None
@@ -83,17 +89,21 @@ class LambdaExecutor:
                 self.stats.throttles += 1
                 return False
             self._in_flight += 1
+            self._in_flight_by_function[function_name] = (
+                self._in_flight_by_function.get(function_name, 0) + 1
+            )
             return True
 
-    def _release_slot(self) -> None:
+    def _release_slot(self, function_name: str) -> None:
         with self._lock:
             self._in_flight -= 1
+            self._in_flight_by_function[function_name] -= 1
 
     # ------------------------------------------------------------------ #
     def invoke(self, function_name: str, event: dict) -> InvocationResult:
         """Invoke ``function_name`` with ``event``; retry on handler errors."""
         definition = self.registry.get(function_name)
-        if not self._acquire_slot():
+        if not self._acquire_slot(function_name):
             return InvocationResult(
                 function_name=function_name,
                 invocation_id="throttled",
@@ -107,7 +117,7 @@ class LambdaExecutor:
         try:
             return self._invoke_with_retries(definition, event)
         finally:
-            self._release_slot()
+            self._release_slot(function_name)
 
     def invoke_batch(self, function_name: str, events: List[dict]) -> List[InvocationResult]:
         return [self.invoke(function_name, event) for event in events]
@@ -154,6 +164,8 @@ class LambdaExecutor:
                 if attempt <= self.max_retries:
                     self.stats.retries += 1
                     continue
+                # Failed final attempts are billed too (Lambda semantics).
+                self.stats.total_billed_seconds += total_duration
                 return InvocationResult(
                     function_name=definition.name,
                     invocation_id=invocation_id,

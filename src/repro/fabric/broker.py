@@ -113,19 +113,23 @@ class Broker:
         self._check_online()
         return self.replica(topic, partition).append(record)
 
+    def append_batch(
+        self, topic: str, partition: int, records: Iterable[EventRecord]
+    ) -> list[int]:
+        """Append a whole batch to the local replica (leader batch path)."""
+        self._check_online()
+        return self.replica(topic, partition).append_batch(records)
+
     def replicate(
         self, topic: str, partition: int, records: Iterable[StoredRecord]
     ) -> int:
         """Follower path: copy records appended on the leader.
 
-        Offsets are preserved; returns the follower's new log end offset.
+        Offsets are preserved; the whole batch is adopted under a single
+        log lock.  Returns the follower's new log end offset.
         """
         self._check_online()
-        log = self.replica(topic, partition)
-        for stored in records:
-            if stored.offset >= log.log_end_offset:
-                log.append(stored.record, append_time=stored.append_time)
-        return log.log_end_offset
+        return self.replica(topic, partition).append_stored(records)
 
     def fetch(
         self,

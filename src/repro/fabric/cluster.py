@@ -73,6 +73,7 @@ class FabricCluster:
         self._groups = ConsumerGroupCoordinator()
         self._retention = RetentionEnforcer()
         self._authorizer: Authorizer = authorizer or _allow_all
+        self._append_locks: Dict[Tuple[str, int], threading.Lock] = {}
         self._placement_cursor = 0
         self._persistence_sinks: List[Callable[[str, int, StoredRecord], None]] = []
 
@@ -213,6 +214,23 @@ class FabricCluster:
     # ------------------------------------------------------------------ #
     # Data path: produce
     # ------------------------------------------------------------------ #
+    def _leader_for(self, topic_name: str, partition: int) -> Broker:
+        """Resolve the online leader broker for a partition (shared fast path).
+
+        Used by produce, batched produce and fetch so metadata lookup and
+        leader election behave identically on every data-plane route.
+        """
+        assignment = self._replication.assignment(topic_name, partition)
+        leader = self._brokers[assignment.leader]
+        if not leader.online:
+            new_leader = self._replication.elect_leader(topic_name, partition)
+            if new_leader is None:
+                raise BrokerUnavailableError(
+                    f"no online replica for {topic_name}-{partition}"
+                )
+            leader = self._brokers[new_leader]
+        return leader
+
     def append(
         self,
         topic_name: str,
@@ -228,23 +246,54 @@ class FabricCluster:
         (leader has written) or ``"all"`` (ISR must satisfy
         ``min.insync.replicas``).
         """
+        return self.append_batch(
+            topic_name, partition, [record], acks=acks, principal=principal
+        )[0]
+
+    def append_batch(
+        self,
+        topic_name: str,
+        partition: int,
+        records: Sequence[EventRecord],
+        *,
+        acks: object = 1,
+        principal: Optional[str] = None,
+    ) -> List[RecordMetadata]:
+        """Append a whole batch of records to a partition leader.
+
+        This is the batched data plane: one authorization check, one
+        metadata lookup, one leader resolution, one leader-log lock
+        round-trip and one follower-replication pass for the entire batch,
+        instead of one of each per record.  ``acks`` semantics match
+        :meth:`append` and apply to the batch as a unit.
+        """
+        records = list(records)
+        if not records:
+            return []
         self._authorize(principal, "WRITE", topic_name)
         topic = self.topic(topic_name)
-        topic.partition(partition)  # validates the partition exists
-        assignment = self._replication.assignment(topic_name, partition)
-        leader = self._brokers[assignment.leader]
-        if not leader.online:
-            new_leader = self._replication.elect_leader(topic_name, partition)
-            if new_leader is None:
-                raise BrokerUnavailableError(
-                    f"no online replica for {topic_name}-{partition}"
+        canonical = topic.partition(partition)  # validates the partition exists
+        leader = self._leader_for(topic_name, partition)
+        with self._lock:
+            append_lock = self._append_locks.setdefault(
+                (topic_name, partition), threading.Lock()
+            )
+        # The per-partition lock makes leader append + canonical mirror one
+        # atomic step: without it a concurrent producer could mirror a later
+        # batch first, leaving this batch permanently absent from the
+        # canonical view that retention and metrics operate on.
+        with append_lock:
+            offsets = leader.append_batch(topic_name, partition, records)
+            # Mirror into the logical topic view: adopt the leader's stored
+            # records rather than re-wrapping them — append_stored skips any
+            # prefix the canonical log already holds.
+            if canonical.log_end_offset <= offsets[-1]:
+                canonical.append_stored(
+                    leader.fetch(
+                        topic_name, partition, offsets[0],
+                        max_records=len(records), max_bytes=None,
+                    )
                 )
-            leader = self._brokers[new_leader]
-        offset = leader.append(topic_name, partition, record)
-        # Mirror into the logical topic view (used by retention and metrics).
-        canonical = topic.partition(partition)
-        if canonical.log_end_offset <= offset:
-            canonical.append(record)
         if acks == "all":
             self._replication.check_min_isr(
                 topic_name, partition, topic.config.min_insync_replicas
@@ -254,17 +303,23 @@ class FabricCluster:
             pass
         # acks == 0: nothing further.
         self._replication.replicate_from_leader(topic_name, partition)
-        stored = StoredRecord(offset=offset, record=record, append_time=record.timestamp)
         if topic.config.persist_to_store:
-            for sink in self._persistence_sinks:
-                sink(topic_name, partition, stored)
-        return RecordMetadata(
-            topic=topic_name,
-            partition=partition,
-            offset=offset,
-            timestamp=record.timestamp,
-            serialized_size=record.size_bytes(),
-        )
+            for offset, record in zip(offsets, records):
+                stored = StoredRecord(
+                    offset=offset, record=record, append_time=record.timestamp
+                )
+                for sink in self._persistence_sinks:
+                    sink(topic_name, partition, stored)
+        return [
+            RecordMetadata(
+                topic=topic_name,
+                partition=partition,
+                offset=offset,
+                timestamp=record.timestamp,
+                serialized_size=record.size_bytes(),
+            )
+            for offset, record in zip(offsets, records)
+        ]
 
     # ------------------------------------------------------------------ #
     # Data path: fetch
@@ -282,15 +337,7 @@ class FabricCluster:
         """Fetch records from the partition leader starting at ``offset``."""
         self._authorize(principal, "READ", topic_name)
         self.topic(topic_name)
-        assignment = self._replication.assignment(topic_name, partition)
-        leader = self._brokers[assignment.leader]
-        if not leader.online:
-            new_leader = self._replication.elect_leader(topic_name, partition)
-            if new_leader is None:
-                raise BrokerUnavailableError(
-                    f"no online replica for {topic_name}-{partition}"
-                )
-            leader = self._brokers[new_leader]
+        leader = self._leader_for(topic_name, partition)
         return leader.fetch(
             topic_name, partition, offset, max_records=max_records, max_bytes=max_bytes
         )

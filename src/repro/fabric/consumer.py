@@ -78,6 +78,7 @@ class FabricConsumer:
         self._topics = list(topics)
         self._lock = threading.RLock()
         self._positions: Dict[TopicPartition, int] = {}
+        self._poll_cursor = 0
         self._closed = False
         self._last_auto_commit = time.time()
         self.metrics = ConsumerMetrics()
@@ -161,10 +162,13 @@ class FabricConsumer:
     def poll(
         self, max_records: Optional[int] = None
     ) -> Dict[TopicPartition, List[StoredRecord]]:
-        """Fetch available records from every assigned partition.
+        """Fetch available records from assigned partitions, round-robin.
 
-        Advances in-memory positions; offsets become durable only when
-        committed (automatically or via :meth:`commit`).
+        Each poll starts from a different partition of the assignment (the
+        cursor advances by one per poll), so a hot early partition cannot
+        starve later ones when ``max_poll_records`` is reached.  Advances
+        in-memory positions; offsets become durable only when committed
+        (automatically or via :meth:`commit`).
         """
         self._ensure_open()
         self._maybe_rejoin()
@@ -173,6 +177,10 @@ class FabricConsumer:
         out: Dict[TopicPartition, List[StoredRecord]] = {}
         with self._lock:
             assignment = list(self._assignment)
+            if assignment:
+                pivot = self._poll_cursor % len(assignment)
+                assignment = assignment[pivot:] + assignment[:pivot]
+                self._poll_cursor = pivot + 1
         remaining = limit
         for topic, partition in assignment:
             if remaining <= 0:
@@ -251,6 +259,11 @@ class FabricConsumer:
             with self._lock:
                 self._generation = current
                 self._assignment = list(assignment)
+                # Forget positions of revoked partitions: committing them
+                # after the rebalance would clobber the new owner's progress.
+                owned = set(self._assignment)
+                for tp in [tp for tp in self._positions if tp not in owned]:
+                    del self._positions[tp]
                 for tp in self._assignment:
                     if tp not in self._positions:
                         committed = self._cluster.offsets.committed(

@@ -36,6 +36,7 @@ class ProducerConfig:
     buffer_memory_bytes: int = 256 * 1024
     batch_max_bytes: int = 64 * 1024
     linger_seconds: float = 0.0
+    metadata_max_age_seconds: float = 5.0
     client_id: str = "octopus-producer"
 
     def validate(self) -> None:
@@ -45,6 +46,12 @@ class ProducerConfig:
             raise ValueError("retries must be >= 0")
         if self.buffer_memory_bytes <= 0:
             raise ValueError("buffer_memory_bytes must be > 0")
+        if self.batch_max_bytes <= 0:
+            raise ValueError("batch_max_bytes must be > 0")
+        if self.linger_seconds < 0:
+            raise ValueError("linger_seconds must be >= 0")
+        if self.metadata_max_age_seconds < 0:
+            raise ValueError("metadata_max_age_seconds must be >= 0")
 
 
 @dataclass
@@ -55,11 +62,18 @@ class ProducerMetrics:
     bytes_sent: int = 0
     records_failed: int = 0
     retries: int = 0
+    batches_sent: int = 0
     send_latencies: List[float] = field(default_factory=list)
 
     def record_send(self, size: int, latency: float) -> None:
         self.records_sent += 1
         self.bytes_sent += size
+        self.send_latencies.append(latency)
+
+    def record_batch_send(self, count: int, size: int, latency: float) -> None:
+        self.records_sent += count
+        self.bytes_sent += size
+        self.batches_sent += 1
         self.send_latencies.append(latency)
 
 
@@ -82,6 +96,8 @@ class FabricProducer:
         self._sleep = sleep_fn
         self._lock = threading.RLock()
         self._pending: Dict[tuple[str, int], RecordBatch] = {}
+        self._sealed: List[RecordBatch] = []
+        self._partition_counts: Dict[str, tuple[int, float]] = {}
         self._buffered_bytes = 0
         self._closed = False
         self.metrics = ProducerMetrics()
@@ -122,8 +138,26 @@ class FabricProducer:
         key: Any = None,
         partition: Optional[int] = None,
     ) -> List[RecordMetadata]:
-        """Publish several events; returns metadata in input order."""
-        return [self.send(topic, value, key=key, partition=partition) for value in values]
+        """Publish several events as per-partition batches.
+
+        Events are grouped by target partition and each group travels
+        through :meth:`FabricCluster.append_batch` — one metadata/ACL/leader
+        resolution and one replication pass per partition instead of one per
+        event.  Metadata is returned in input order.
+        """
+        self._ensure_open()
+        slots: List[Optional[RecordMetadata]] = [None] * len(values)
+        groups: Dict[int, List[tuple[int, EventRecord]]] = {}
+        for index, value in enumerate(values):
+            record = EventRecord(value=value, key=key)
+            target = self._select_partition(topic, key, partition)
+            groups.setdefault(target, []).append((index, record))
+        for target, items in groups.items():
+            batch = RecordBatch.of(topic, target, [record for _, record in items])
+            metadata = self._send_batch_with_retries(batch)
+            for (index, _), md in zip(items, metadata):
+                slots[index] = md
+        return [md for md in slots if md is not None]
 
     def buffer(self, topic: str, value: Any, *, key: Any = None,
                partition: Optional[int] = None) -> None:
@@ -146,24 +180,62 @@ class FabricProducer:
             target = self._select_partition(topic, key, partition)
             batch_key = (topic, target)
             batch = self._pending.get(batch_key)
-            if batch is None or not batch.try_append(record):
+            if batch is None:
+                batch = RecordBatch(topic, target, max_bytes=self.config.batch_max_bytes)
+                self._pending[batch_key] = batch
+            if not batch.try_append(record):
+                # Seal the full batch; it is delivered on the next flush,
+                # never dropped.
+                self._sealed.append(batch)
                 batch = RecordBatch(topic, target, max_bytes=self.config.batch_max_bytes)
                 batch.try_append(record)
                 self._pending[batch_key] = batch
-                # Any displaced full batch is sent immediately.
             self._buffered_bytes += size
+        if self.config.linger_seconds > 0:
+            self._flush_if_lingered()
 
     def flush(self) -> List[RecordMetadata]:
-        """Deliver every buffered event; returns metadata for all of them."""
+        """Deliver every buffered event as whole batches; returns all metadata.
+
+        Each sealed or open batch goes through the cluster's batched append
+        path with per-batch retry/backoff.  If a batch fails permanently,
+        every not-yet-delivered batch (the failing one included) is returned
+        to the buffer so a later flush can retry it — buffered events are
+        never silently lost.
+        """
         with self._lock:
-            pending = list(self._pending.items())
-            self._pending.clear()
+            batches = self._sealed + [b for b in self._pending.values() if len(b)]
+            self._sealed = []
+            self._pending = {}
             self._buffered_bytes = 0
         out: List[RecordMetadata] = []
-        for (topic, partition), batch in pending:
-            for record in batch:
-                out.append(self._send_with_retries(topic, partition, record))
+        for index, batch in enumerate(batches):
+            try:
+                # Batches that fail here are re-buffered below, not lost, so
+                # they must not be counted in records_failed.
+                out.extend(self._send_batch_with_retries(batch, count_failures=False))
+            except FabricError:
+                with self._lock:
+                    remaining = batches[index:]
+                    self._sealed = remaining + self._sealed
+                    self._buffered_bytes += sum(b.size_bytes for b in remaining)
+                raise
         return out
+
+    def _flush_if_lingered(self) -> None:
+        """Auto-flush when the oldest buffered batch exceeds ``linger_seconds``."""
+        now = time.time()
+        with self._lock:
+            oldest = min(
+                (
+                    batch.created_at
+                    for batch in self._sealed + list(self._pending.values())
+                    if len(batch)
+                ),
+                default=None,
+            )
+        if oldest is not None and now - oldest >= self.config.linger_seconds:
+            self.flush()
 
     @property
     def buffered_bytes(self) -> int:
@@ -191,8 +263,29 @@ class FabricProducer:
             raise RuntimeError("producer is closed")
 
     def _select_partition(self, topic: str, key: Any, explicit: Optional[int]) -> int:
-        num_partitions = self._cluster.topic(topic).num_partitions
-        return self._partitioner.partition(key, num_partitions, explicit=explicit)
+        """Route a record to a partition using cached topic metadata.
+
+        Partition counts are cached per topic (one cluster metadata lookup
+        per topic instead of per record, as Kafka clients do), refreshed
+        after ``metadata_max_age_seconds`` so keyed/round-robin records see
+        partition growth, and refreshed eagerly when an explicit partition
+        lies outside the cached range — partition counts only ever grow.
+        """
+        now = time.time()
+        cached = self._partition_counts.get(topic)
+        if cached is None or now - cached[1] >= self.config.metadata_max_age_seconds:
+            num_partitions = self._cluster.topic(topic).num_partitions
+            self._partition_counts[topic] = (num_partitions, now)
+        else:
+            num_partitions = cached[0]
+        try:
+            return self._partitioner.partition(key, num_partitions, explicit=explicit)
+        except ValueError:
+            fresh = self._cluster.topic(topic).num_partitions
+            if fresh == num_partitions:
+                raise
+            self._partition_counts[topic] = (fresh, now)
+            return self._partitioner.partition(key, fresh, explicit=explicit)
 
     def _send_with_retries(
         self, topic: str, partition: int, record: EventRecord
@@ -215,6 +308,36 @@ class FabricProducer:
             except FabricError as exc:
                 if not exc.retriable or attempts >= self.config.retries:
                     self.metrics.records_failed += 1
+                    raise
+                attempts += 1
+                self.metrics.retries += 1
+                self._sleep(self.config.retry_backoff_seconds * attempts)
+
+    def _send_batch_with_retries(
+        self, batch: RecordBatch, *, count_failures: bool = True
+    ) -> List[RecordMetadata]:
+        """Deliver one whole batch via the batched append path, with retries."""
+        attempts = 0
+        start = time.perf_counter()
+        while True:
+            try:
+                metadata = self._cluster.append_batch(
+                    batch.topic,
+                    batch.partition,
+                    batch.records(),
+                    acks=self.config.acks,
+                    principal=self._principal,
+                )
+                self.metrics.record_batch_send(
+                    len(metadata),
+                    sum(md.serialized_size for md in metadata),
+                    time.perf_counter() - start,
+                )
+                return metadata
+            except FabricError as exc:
+                if not exc.retriable or attempts >= self.config.retries:
+                    if count_failures:
+                        self.metrics.records_failed += len(batch)
                     raise
                 attempts += 1
                 self.metrics.retries += 1

@@ -117,6 +117,36 @@ class TestExecutor:
         assert result.duration_seconds == 30.0
         assert executor.logs.metrics("fn")["duration_p50_s"] == 30.0
 
+    def test_failed_final_attempt_is_billed(self):
+        """Regression: billed time of a permanently failing invocation was
+        never added to ExecutorStats.total_billed_seconds."""
+        def boom(event, ctx):
+            raise RuntimeError("kaput")
+
+        executor = make_executor(boom, simulated_duration_seconds=0.5)
+        result = executor.invoke("fn", {})
+        assert not result.success
+        # max_retries=1 in make_executor → 2 attempts × 0.5 s each.
+        assert result.billed_duration_seconds == pytest.approx(1.0)
+        assert executor.stats.total_billed_seconds == pytest.approx(
+            result.billed_duration_seconds
+        )
+
+    def test_billing_accumulates_across_mixed_outcomes(self):
+        calls = {"n": 0}
+
+        def flaky(event, ctx):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise RuntimeError("first invocation fails both attempts")
+            return "ok"
+
+        executor = make_executor(flaky, simulated_duration_seconds=0.25)
+        first = executor.invoke("fn", {})   # fails twice: 0.5 s billed
+        second = executor.invoke("fn", {})  # succeeds first try: 0.25 s billed
+        assert not first.success and second.success
+        assert executor.stats.total_billed_seconds == pytest.approx(0.75)
+
     def test_reserved_concurrency_throttles(self):
         registry = FunctionRegistry()
         registry.register(FunctionDefinition(name="fn", handler=lambda e, c: None))

@@ -218,6 +218,37 @@ class TestConsumer:
         consumer.seek("events", 2, 5)
         assert consumer.lag() == 5
 
+    def test_rebalance_prunes_revoked_positions(self, cluster):
+        """Regression: after a rebalance the old owner's commit() used to
+        clobber the new owner's committed offsets for revoked partitions."""
+        producer = FabricProducer(cluster)
+        for partition in range(4):
+            producer.send_batch("events", list(range(8)), partition=partition)
+        c1 = FabricConsumer(
+            cluster, ["events"],
+            ConsumerConfig(group_id="reb", enable_auto_commit=False),
+        )
+        # c1 owns everything and consumes only part of the backlog, so its
+        # in-memory positions sit mid-stream on every partition.
+        c1.poll_flat(max_records=8)
+        c2 = FabricConsumer(
+            cluster, ["events"],
+            ConsumerConfig(group_id="reb", enable_auto_commit=False),
+        )
+        # c2 drains its half of the partitions and commits the end offsets.
+        while c2.poll_flat():
+            pass
+        c2.commit()
+        committed_by_c2 = {
+            tp: c2.committed(*tp) for tp in c2.assignment()
+        }
+        assert all(offset == 8 for offset in committed_by_c2.values())
+        # c1 rejoins on its next poll (pruning revoked positions) and commits.
+        c1.poll_flat(max_records=1)
+        c1.commit()
+        for (topic, partition), offset in committed_by_c2.items():
+            assert cluster.offsets.committed("reb", topic, partition) == offset
+
     def test_closed_consumer_rejects_poll(self, cluster):
         consumer = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="x"))
         consumer.close()
