@@ -16,7 +16,14 @@ import pytest
 from repro.bench.operator import BenchmarkOperator
 from repro.core import OctopusDeployment
 from repro.faas.function import FunctionDefinition
-from repro.fabric import FabricCluster, FabricProducer, ProducerConfig, TopicConfig
+from repro.fabric import (
+    EventRecord,
+    FabricCluster,
+    FabricProducer,
+    ProducerConfig,
+    TopicConfig,
+)
+from repro.fabric.mirrormaker import MirrorMaker
 
 NUM_EVENTS = 2000
 
@@ -59,10 +66,11 @@ def test_fabric_produce_consume_acks_all(benchmark, operator):
 EVENT_64B = "x" * 40
 
 
-def _timed_throughput(produce, n, repeats=2):
+def _timed_throughput(produce, n, repeats=3):
     """Best-of-``repeats`` events/second, with GC paused during the window
     so collections triggered by the rest of the suite's heap don't land
-    inside one timing run."""
+    inside one timing run.  Best-of-3 keeps a transient load spike on a
+    shared machine from sinking one arm of a ratio assertion."""
     best = 0.0
     for _ in range(repeats):
         gc.collect()
@@ -110,9 +118,143 @@ def test_batched_produce_beats_per_record_3x():
     print(f"\nPer-record produce: {per_record:,.0f} ev/s; "
           f"batched produce: {batched:,.0f} ev/s "
           f"({batched / per_record:.1f}x)")
-    # Two timed repeats per side, nothing dropped on either path.
-    assert sum(cluster.end_offsets("bench-batching").values()) == 4 * NUM_EVENTS
+    # Three timed repeats per side, nothing dropped on either path.
+    assert sum(cluster.end_offsets("bench-batching").values()) == 6 * NUM_EVENTS
     assert batched >= 3 * per_record
+
+
+def test_fetch_many_consume_beats_per_partition_2x():
+    """The fetch-session data plane must deliver ≥ 2× the per-partition
+    consume throughput when an assignment spans many partitions (one
+    authorization/topic/leader resolution per session pass instead of one
+    of each per partition)."""
+    num_partitions, records_per_partition, rounds = 64, 4, 100
+    cluster = FabricCluster(num_brokers=1)
+    cluster.create_topic(
+        "bench-fetch",
+        TopicConfig(num_partitions=num_partitions, replication_factor=1),
+    )
+    for p in range(num_partitions):
+        cluster.append_batch(
+            "bench-fetch",
+            p,
+            [EventRecord(value=EVENT_64B) for _ in range(records_per_partition)],
+        )
+    total = num_partitions * records_per_partition * rounds
+
+    def per_partition(n):
+        served = 0
+        for _ in range(rounds):
+            for p in range(num_partitions):
+                served += len(cluster.fetch("bench-fetch", p, 0, max_records=500))
+        assert served == n
+
+    session = cluster.fetch_session()
+    session.set_assignment([("bench-fetch", p) for p in range(num_partitions)])
+    positions = {("bench-fetch", p): 0 for p in range(num_partitions)}
+
+    def sessioned(n):
+        served = 0
+        for _ in range(rounds):
+            batches = session.fetch_assignment(positions, max_records=n)
+            served += sum(len(r) for r in batches.values())
+        assert served == n
+
+    baseline = _timed_throughput(per_partition, total)
+    batched = _timed_throughput(sessioned, total)
+    print(f"\nPer-partition fetch: {baseline:,.0f} rec/s; "
+          f"fetch-session consume: {batched:,.0f} rec/s "
+          f"({batched / baseline:.1f}x)")
+    assert batched >= 2 * baseline
+
+
+def _mirror_source(num_partitions, records_per_partition):
+    source = FabricCluster(num_brokers=1, name="bench-src")
+    source.create_topic(
+        "mirror-bench",
+        TopicConfig(num_partitions=num_partitions, replication_factor=1),
+    )
+    for p in range(num_partitions):
+        source.append_batch(
+            "mirror-bench",
+            p,
+            [EventRecord(value=EVENT_64B) for _ in range(records_per_partition)],
+        )
+    return source
+
+
+def _mirror_per_record(source, destination):
+    """The pre-fetch-session MirrorMaker shape: one fetch per partition,
+    one ``append`` round trip per record."""
+    mirrored = 0
+    for _, partition in source.partitions_for("mirror-bench"):
+        records = source.fetch("mirror-bench", partition, 0, max_records=10_000)
+        for stored in records:
+            copy = EventRecord(
+                value=stored.record.value,
+                key=stored.record.key,
+                headers={
+                    **dict(stored.record.headers),
+                    "mirror.source.cluster": source.name,
+                    "mirror.source.offset": str(stored.offset),
+                },
+                timestamp=stored.record.timestamp,
+            )
+            destination.append("mirror-bench", partition, copy, acks=1)
+            mirrored += 1
+    return mirrored
+
+
+def _timed_mirror_rate(run_sync, n, repeats=3):
+    """Best-of-``repeats`` mirrored records/second; cluster setup happens
+    outside the timed window, GC paused inside it (as `_timed_throughput`)."""
+    best = 0.0
+    for _ in range(repeats):
+        run = run_sync()  # fresh source + destination per repeat
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            assert run() == n
+            best = max(best, n / (time.perf_counter() - start))
+        finally:
+            gc.enable()
+    return best
+
+
+def test_batched_mirror_sync_beats_per_record_2x():
+    """Routing MirrorMaker through ``fetch_many`` + ``append_batch`` must
+    mirror records ≥ 2× faster than the per-record baseline."""
+    num_partitions, records_per_partition = 4, 500
+    total = num_partitions * records_per_partition
+
+    def per_record_setup():
+        source = _mirror_source(num_partitions, records_per_partition)
+        destination = FabricCluster(num_brokers=1, name="bench-dst-a")
+        destination.create_topic(
+            "mirror-bench",
+            TopicConfig(num_partitions=num_partitions, replication_factor=1),
+        )
+        return lambda: _mirror_per_record(source, destination)
+
+    def batched_setup():
+        source = _mirror_source(num_partitions, records_per_partition)
+        destination = FabricCluster(num_brokers=1, name="bench-dst-b")
+        # Pre-create the destination topic, as the per-record arm does, so
+        # neither timed window includes topic creation.
+        destination.create_topic(
+            "mirror-bench",
+            TopicConfig(num_partitions=num_partitions, replication_factor=1),
+        )
+        mirror = MirrorMaker(source, destination)
+        return lambda: mirror.sync_topic("mirror-bench").records_mirrored
+
+    baseline = _timed_mirror_rate(per_record_setup, total)
+    fast = _timed_mirror_rate(batched_setup, total)
+    print(f"\nPer-record mirror: {baseline:,.0f} rec/s; "
+          f"batched mirror sync: {fast:,.0f} rec/s "
+          f"({fast / baseline:.1f}x)")
+    assert fast >= 2 * baseline
 
 
 def run_trigger_path(deployment, client, n_events):

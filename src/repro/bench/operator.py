@@ -65,6 +65,7 @@ class BenchmarkOperator:
         event_size_bytes: int = 1024,
         acks: object = 1,
         batched: bool = False,
+        prefetch: bool = False,
     ) -> FabricRunResult:
         """Produce ``num_events`` then consume them all, measuring both sides.
 
@@ -72,6 +73,9 @@ class BenchmarkOperator:
         :meth:`FabricProducer.buffer` and deliver whole record batches
         through the cluster's batched append path; the default sends one
         record per round-trip (the paper's unbatched client baseline).
+        With ``prefetch=True`` consumers pipeline the next fetch-session
+        pass on a background thread while the measured loop processes the
+        current batch.
         """
         generator = SyntheticEventGenerator(event_size_bytes)
         producers = [
@@ -98,6 +102,9 @@ class BenchmarkOperator:
                     producer.send(topic, generator.next_event())
             end = time.perf_counter()
             produce_windows.append((start, end))
+            # send_latencies is a bounded window (the most recent
+            # METRICS_WINDOW sends per producer); percentiles over runs
+            # larger than that window describe the steady-state tail.
             latencies_ms.extend(l * 1000.0 for l in producer.metrics.send_latencies)
             per_producer[index] = share
         produce = ThroughputMeasurement.from_agent_windows(num_events, produce_windows)
@@ -109,7 +116,8 @@ class BenchmarkOperator:
                 self.cluster,
                 [topic],
                 ConsumerConfig(group_id="bench-consumers", client_id=f"consumer-{i}",
-                               enable_auto_commit=False, max_poll_records=5000),
+                               enable_auto_commit=False, max_poll_records=5000,
+                               prefetch=prefetch),
             )
             for i in range(num_consumers)
         ]

@@ -29,12 +29,18 @@ _mapping_ids = itertools.count(1)
 
 @dataclass(frozen=True)
 class EventSourceConfig:
-    """User-tunable event-source settings (batch size, window, filter)."""
+    """User-tunable event-source settings (batch size, window, filter).
+
+    ``prefetch`` pipelines the next batch fetch while the function runs,
+    using the consumer's background prefetch thread — the polling loop then
+    overlaps broker I/O with function execution, as Lambda pollers do.
+    """
 
     batch_size: int = 100
     batch_window_seconds: float = 0.0
     filter_pattern: Optional[dict] = None
     starting_position: str = "earliest"
+    prefetch: bool = False
 
     def validate(self) -> None:
         if not 1 <= self.batch_size <= MAX_BATCH_SIZE:
@@ -90,9 +96,11 @@ class EventSourceMapping:
                 auto_offset_reset=self.config.starting_position,
                 enable_auto_commit=False,
                 max_poll_records=self.config.batch_size,
-                # Batch fetches ride the cluster's batched fetch fast path,
-                # byte-capped at the Lambda event-source limit.
+                # Batch fetches ride the cluster's fetch-session data plane,
+                # byte-capped across the whole session at the Lambda
+                # event-source limit.
                 receive_buffer_bytes=MAX_BATCH_BYTES,
+                prefetch=self.config.prefetch,
             ),
             principal=principal,
         )

@@ -21,7 +21,7 @@ from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
 from repro.fabric.partition import PartitionLog
 from repro.fabric.topic import Topic, TopicConfig
 from repro.fabric.broker import Broker
-from repro.fabric.cluster import FabricCluster
+from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.producer import FabricProducer, ProducerConfig
 from repro.fabric.consumer import FabricConsumer, ConsumerConfig
 from repro.fabric.group import ConsumerGroupCoordinator
@@ -47,6 +47,8 @@ __all__ = [
     "TopicConfig",
     "Broker",
     "FabricCluster",
+    "FetchRequest",
+    "FetchSession",
     "FabricProducer",
     "ProducerConfig",
     "FabricConsumer",

@@ -144,6 +144,75 @@ class Broker:
             offset, max_records=max_records, max_bytes=max_bytes
         )
 
+    def fetch_many(
+        self,
+        requests: Iterable[Tuple[str, int, int, Optional[int]]],
+        *,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+        logs: Optional[list[PartitionLog]] = None,
+    ) -> Tuple[Dict[Tuple[str, int], list[StoredRecord]], int, int]:
+        """Serve several partition fetches in one broker round trip.
+
+        ``requests`` is an ordered iterable of ``(topic, partition, offset,
+        per_partition_max_records)`` tuples.  ``max_records``/``max_bytes``
+        are *session-wide* caps charged across every request in order —
+        unlike per-partition :meth:`fetch`, a hot partition early in the
+        request list shrinks what later partitions may return.  One online
+        check covers the whole call.  ``logs`` may carry the replica logs a
+        fetch session already resolved (position-matched with ``requests``),
+        skipping the replica-table lock.  Returns ``(records_by_partition,
+        records_served, bytes_served)`` so the caller can keep charging the
+        same budget across further brokers in the session.
+        """
+        self._check_online()
+        if not isinstance(requests, list):
+            requests = list(requests)
+        if logs is None:
+            # One broker-lock pass resolves every replica up front (the
+            # per-request ``replica()`` lock round trip was the dominant
+            # cost of multi-partition fetches).
+            with self._lock:
+                logs = []
+                for request in requests:
+                    log = self._replicas.get((request[0], request[1]))
+                    if log is None:
+                        raise UnknownPartitionError(
+                            f"broker {self.broker_id} hosts no replica of "
+                            f"{request[0]}-{request[1]}"
+                        )
+                    logs.append(log)
+        out: Dict[Tuple[str, int], list[StoredRecord]] = {}
+        remaining = max_records
+        served_bytes = 0
+        if max_bytes is None:
+            # No byte budget: the record cap alone drives the loop.
+            for request, log in zip(requests, logs):
+                if remaining <= 0:
+                    break
+                cap = request[3]
+                limit = remaining if cap is None or cap > remaining else cap
+                records, _ = log.fetch_with_usage(request[2], max_records=limit)
+                if records:
+                    out[(request[0], request[1])] = records
+                    remaining -= len(records)
+            return out, max_records - remaining, served_bytes
+        budget = max_bytes
+        for request, log in zip(requests, logs):
+            if remaining <= 0 or budget <= 0:
+                break
+            cap = request[3]
+            limit = remaining if cap is None or cap > remaining else cap
+            records, used = log.fetch_with_usage(
+                request[2], max_records=limit, max_bytes=budget
+            )
+            if records:
+                out[(request[0], request[1])] = records
+                remaining -= len(records)
+                served_bytes += used
+                budget -= used
+        return out, max_records - remaining, served_bytes
+
     # ------------------------------------------------------------------ #
     def describe(self) -> dict:
         with self._lock:

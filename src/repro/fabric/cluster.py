@@ -12,7 +12,18 @@ Octopus Web Service.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.fabric.broker import Broker, BrokerSpec
 from repro.fabric.errors import (
@@ -35,6 +46,147 @@ Authorizer = Callable[[Optional[str], str, str], bool]
 
 def _allow_all(principal: Optional[str], operation: str, topic: str) -> bool:
     return True
+
+
+class FetchRequest(NamedTuple):
+    """One partition's slice of a multi-partition fetch.
+
+    ``max_records`` is an optional per-partition cap layered *under* the
+    session-wide record cap — ``None`` means the partition may use whatever
+    remains of the session budget.
+    """
+
+    topic: str
+    partition: int
+    offset: int
+    max_records: Optional[int] = None
+
+
+#: Shapes accepted by :meth:`FabricCluster.fetch_many` / :meth:`FetchSession.fetch`:
+#: a mapping of ``(topic, partition) -> offset`` or an ordered iterable of
+#: :class:`FetchRequest`-compatible tuples.
+FetchRequests = Union[
+    Mapping[TopicPartition, int],
+    Iterable[Union[FetchRequest, Tuple[str, int, int]]],
+]
+
+
+class FetchSession:
+    """A reader's standing context for multi-partition fetches.
+
+    Mirrors Kafka's incremental fetch sessions: the expensive parts of a
+    fetch — leader resolution per partition — are cached on the session and
+    reused across calls, while authorization is still checked once per
+    topic per call.  The cache is invalidated when the cluster's metadata
+    epoch moves (broker failure/restore, leader election, topic deletion)
+    or when a cached leader is observed offline, so a session held across a
+    broker crash transparently fails over to the new leader on its next
+    fetch.
+    """
+
+    def __init__(self, cluster: "FabricCluster", *, principal: Optional[str] = None) -> None:
+        self._cluster = cluster
+        self.principal = principal
+        #: (topic, partition) -> (leader broker, its replica log).  Caching
+        #: the log alongside the broker lets repeat fetches skip the broker's
+        #: replica-table lock entirely.
+        self._leaders: Dict[TopicPartition, Tuple[Broker, "object"]] = {}
+        self._epoch = cluster.metadata_epoch
+        # Assignment mode: a standing partition list whose (leader, log)
+        # arrays are resolved once and reused verbatim every fetch.
+        self._assignment: List[TopicPartition] = []
+        self._assignment_topics: Tuple[str, ...] = ()
+        self._assignment_brokers: Optional[List[Broker]] = None
+        self._assignment_logs: Optional[list] = None
+
+    def invalidate(self) -> None:
+        """Drop every cached leader; the next fetch re-resolves from metadata."""
+        self._leaders.clear()
+        self._assignment_brokers = None
+        self._assignment_logs = None
+
+    def cached_leaders(self) -> Dict[TopicPartition, int]:
+        """Snapshot of the cached leader broker id per partition (introspection)."""
+        return {tp: broker.broker_id for tp, (broker, _) in self._leaders.items()}
+
+    def fetch(
+        self,
+        requests: FetchRequests,
+        *,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        """Fetch every requested partition in one pass under shared caps."""
+        return self._cluster._session_fetch(
+            self,
+            _normalize_fetch_requests(requests),
+            max_records=max_records,
+            max_bytes=max_bytes,
+        )
+
+    def set_assignment(self, partitions: Sequence[TopicPartition]) -> None:
+        """Declare the standing partition set served by :meth:`fetch_assignment`.
+
+        Mirrors Kafka's incremental fetch sessions: the member's assignment
+        is registered once (per rebalance), so per-fetch requests carry only
+        offsets, and leader/log resolution happens once per metadata epoch
+        instead of once per fetch.
+        """
+        self._assignment = [(topic, partition) for topic, partition in partitions]
+        seen: List[str] = []
+        for topic, _ in self._assignment:
+            if topic not in seen:
+                seen.append(topic)
+        self._assignment_topics = tuple(seen)
+        self._assignment_brokers = None
+        self._assignment_logs = None
+
+    def fetch_assignment(
+        self,
+        positions: Mapping[TopicPartition, int],
+        *,
+        start: int = 0,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        """Fetch the standing assignment from ``positions`` in one pass.
+
+        ``start`` rotates which partition the session-wide
+        ``max_records``/``max_bytes`` budget is charged to first, so a
+        caller polling in a loop can keep the budget fair across the
+        assignment.  ``positions`` is read during the call only.
+        """
+        return self._cluster._assignment_fetch(
+            self, positions, start, max_records, max_bytes
+        )
+
+    def _resolve(self, topic: str, partition: int) -> Tuple[Broker, "object"]:
+        """Cached (leader, log) lookup, re-resolving offline/unknown entries."""
+        tp = (topic, partition)
+        entry = self._leaders.get(tp)
+        if entry is None or not entry[0].online:
+            broker = self._cluster._leader_for(topic, partition)
+            entry = (broker, broker.replica(topic, partition))
+            self._leaders[tp] = entry
+        return entry
+
+
+def _normalize_fetch_requests(requests: FetchRequests) -> List[FetchRequest]:
+    if isinstance(requests, Mapping):
+        return [
+            FetchRequest(topic, partition, offset)
+            for (topic, partition), offset in requests.items()
+        ]
+    # Fast path for the common caller (consumer/mirror polls build uniform
+    # FetchRequest lists every cycle): no re-wrapping, one type check per
+    # element — mixed FetchRequest/tuple lists fall through to the general
+    # normalization below.
+    if type(requests) is list and all(type(req) is FetchRequest for req in requests):
+        return requests
+    return [
+        req if isinstance(req, FetchRequest) else FetchRequest(*req)
+        for req in requests
+    ]
 
 
 class FabricCluster:
@@ -76,6 +228,7 @@ class FabricCluster:
         self._append_locks: Dict[Tuple[str, int], threading.Lock] = {}
         self._placement_cursor = 0
         self._persistence_sinks: List[Callable[[str, int, StoredRecord], None]] = []
+        self._metadata_epoch = 0
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -95,6 +248,20 @@ class FabricCluster:
     @property
     def replication(self) -> ReplicationManager:
         return self._replication
+
+    @property
+    def metadata_epoch(self) -> int:
+        """Monotonic counter bumped whenever leadership metadata may change.
+
+        Fetch sessions compare their snapshot against this to decide when
+        cached leader resolutions must be discarded.
+        """
+        with self._lock:
+            return self._metadata_epoch
+
+    def _bump_metadata_epoch(self) -> None:
+        with self._lock:
+            self._metadata_epoch += 1
 
     def set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
         self._authorizer = authorizer or _allow_all
@@ -153,6 +320,7 @@ class FabricCluster:
                 for partition in range(topic.num_partitions):
                     broker.drop_replica(name, partition)
             self._replication.unregister_topic(name)
+        self._bump_metadata_epoch()
 
     def topic(self, name: str) -> Topic:
         with self._lock:
@@ -229,6 +397,8 @@ class FabricCluster:
                     f"no online replica for {topic_name}-{partition}"
                 )
             leader = self._brokers[new_leader]
+            # Leadership moved: standing fetch sessions must re-resolve.
+            self._bump_metadata_epoch()
         return leader
 
     def append(
@@ -342,6 +512,222 @@ class FabricCluster:
             topic_name, partition, offset, max_records=max_records, max_bytes=max_bytes
         )
 
+    def fetch_session(self, *, principal: Optional[str] = None) -> FetchSession:
+        """Open a standing fetch session for a reader of this cluster."""
+        return FetchSession(self, principal=principal)
+
+    def fetch_many(
+        self,
+        requests: FetchRequests,
+        *,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+        principal: Optional[str] = None,
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        """Fetch several partitions (possibly several topics) in one pass.
+
+        One authorization check per distinct topic, one leader resolution
+        per partition, and the ``max_records``/``max_bytes`` caps are
+        charged across the whole request set in request order — the
+        multi-partition mirror of :meth:`append_batch`.  Long-lived readers
+        should hold a :class:`FetchSession` (see :meth:`fetch_session`) so
+        leader resolutions are also cached *across* calls.
+        """
+        return FetchSession(self, principal=principal).fetch(
+            requests, max_records=max_records, max_bytes=max_bytes
+        )
+
+    def _session_fetch(
+        self,
+        session: FetchSession,
+        requests: List[FetchRequest],
+        *,
+        max_records: int,
+        max_bytes: Optional[int],
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        out: Dict[TopicPartition, List[StoredRecord]] = {}
+        if not requests:
+            return out
+        seen_topics = set()
+        for request in requests:
+            if request.topic not in seen_topics:
+                seen_topics.add(request.topic)
+                self._authorize(session.principal, "READ", request.topic)
+                self.topic(request.topic)  # raises UnknownTopicError
+        epoch = self.metadata_epoch
+        if session._epoch != epoch:
+            session.invalidate()
+            session._epoch = epoch
+        # Resolve (leader, log) via the session cache: a dict hit per
+        # partition on the hot path, full metadata resolution on a miss.
+        # A cached-but-offline leader is caught by the broker's own online
+        # check below and handled by the failover path, so no liveness
+        # probe is paid per partition here.
+        cache_get = session._leaders.get
+        brokers: List[Broker] = []
+        logs: List[object] = []
+        brokers_append = brokers.append
+        logs_append = logs.append
+        for request in requests:
+            tp = (request[0], request[1])
+            entry = cache_get(tp)
+            if entry is None:
+                broker = self._leader_for(request[0], request[1])
+                entry = (broker, broker.replica(request[0], request[1]))
+                session._leaders[tp] = entry
+            brokers_append(entry[0])
+            logs_append(entry[1])
+        remaining = max_records
+        budget = max_bytes
+        index = 0
+        n = len(requests)
+        while index < n and remaining > 0 and (budget is None or budget > 0):
+            # Serve the longest run of consecutive requests that share a
+            # leader in one broker round trip; request order (and therefore
+            # budget fairness) is preserved across runs.  FetchRequest is a
+            # NamedTuple, so the slice feeds the broker's tuple protocol
+            # without re-packing.
+            leader = brokers[index]
+            run_start = index
+            while index < n and brokers[index] is leader:
+                index += 1
+            run = requests[run_start:index]
+            try:
+                served, count, nbytes = leader.fetch_many(
+                    run,
+                    max_records=remaining,
+                    max_bytes=budget,
+                    logs=logs[run_start:index],
+                )
+            except BrokerUnavailableError:
+                # The leader crashed between resolution and fetch: fail over
+                # per partition and keep charging the same session budget.
+                session.invalidate()
+                served = {}
+                count = 0
+                nbytes = 0
+                for item in run:
+                    fresh, _ = session._resolve(item[0], item[1])
+                    sub, sub_count, sub_bytes = fresh.fetch_many(
+                        [item],
+                        max_records=remaining - count,
+                        max_bytes=None if budget is None else budget - nbytes,
+                    )
+                    served.update(sub)
+                    count += sub_count
+                    nbytes += sub_bytes
+            if out:
+                out.update(served)
+            else:
+                out = served  # single-run fast path: adopt, don't re-insert
+            remaining -= count
+            if budget is not None:
+                budget -= nbytes
+        return out
+
+    def _assignment_fetch(
+        self,
+        session: FetchSession,
+        positions: Mapping[TopicPartition, int],
+        start: int,
+        max_records: int,
+        max_bytes: Optional[int],
+    ) -> Dict[TopicPartition, List[StoredRecord]]:
+        """Serve a session's standing assignment (see :meth:`FetchSession.set_assignment`).
+
+        The steady-state hot path touches, per partition: two array reads,
+        one position lookup and one log fetch — authorization is per topic,
+        leader/log resolution is amortised across every call of a metadata
+        epoch, and liveness is checked once per same-leader run.
+
+        The serve loops below deliberately inline the budget charging that
+        :meth:`Broker.fetch_many` also implements: routing through the
+        broker would rebuild per-partition request tuples on every call,
+        which is precisely the per-fetch work assignment mode removes.
+        Keep the charging rules (record cap, byte budget, make-progress
+        first record) in lockstep with :meth:`Broker.fetch_many`.
+        """
+        assignment = session._assignment
+        n = len(assignment)
+        out: Dict[TopicPartition, List[StoredRecord]] = {}
+        if n == 0:
+            return out
+        for topic in session._assignment_topics:
+            self._authorize(session.principal, "READ", topic)
+            self.topic(topic)  # raises UnknownTopicError
+        epoch = self.metadata_epoch
+        if session._epoch != epoch or session._assignment_brokers is None:
+            session._epoch = epoch
+            session._leaders.clear()
+            brokers: List[Broker] = []
+            logs: list = []
+            for topic, partition in assignment:
+                broker = self._leader_for(topic, partition)
+                log = broker.replica(topic, partition)
+                session._leaders[(topic, partition)] = (broker, log)
+                brokers.append(broker)
+                logs.append(log)
+            session._assignment_brokers = brokers
+            session._assignment_logs = logs
+        brokers = session._assignment_brokers
+        logs = session._assignment_logs
+        if start:
+            start %= n
+            assignment = assignment[start:] + assignment[:start]
+            brokers = brokers[start:] + brokers[:start]
+            logs = logs[start:] + logs[:start]
+        remaining = max_records
+        budget = max_bytes
+        k = 0
+        while k < n and remaining > 0 and (budget is None or budget > 0):
+            leader = brokers[k]
+            run_start = k
+            while k < n and brokers[k] is leader:
+                k += 1
+            if leader.online:
+                if budget is None:
+                    for i in range(run_start, k):
+                        if remaining <= 0:
+                            break
+                        tp = assignment[i]
+                        records, _ = logs[i].fetch_with_usage(
+                            positions[tp], max_records=remaining
+                        )
+                        if records:
+                            out[tp] = records
+                            remaining -= len(records)
+                else:
+                    for i in range(run_start, k):
+                        if remaining <= 0 or budget <= 0:
+                            break
+                        tp = assignment[i]
+                        records, used = logs[i].fetch_with_usage(
+                            positions[tp], max_records=remaining, max_bytes=budget
+                        )
+                        if records:
+                            out[tp] = records
+                            remaining -= len(records)
+                            budget -= used
+            else:
+                # The cached leader crashed since resolution: fail over per
+                # partition (electing where needed) and force a full
+                # re-resolution on the next call.
+                session._assignment_brokers = None
+                for i in range(run_start, k):
+                    if remaining <= 0 or (budget is not None and budget <= 0):
+                        break
+                    tp = assignment[i]
+                    _, log = session._resolve(tp[0], tp[1])
+                    records, used = log.fetch_with_usage(
+                        positions[tp], max_records=remaining, max_bytes=budget
+                    )
+                    if records:
+                        out[tp] = records
+                        remaining -= len(records)
+                        if budget is not None:
+                            budget -= used
+        return out
+
     def end_offsets(self, topic_name: str) -> Dict[int, int]:
         """Log-end offsets per partition, read from the current leaders."""
         self.topic(topic_name)
@@ -371,6 +757,28 @@ class FabricCluster:
             ).log_start_offset
         return out
 
+    def end_offset(self, topic_name: str, partition: int) -> int:
+        """Log-end offset of a single partition.
+
+        O(1) in the topic's partition count, unlike :meth:`end_offsets`
+        which walks every assignment — consumers seeking or lag-checking
+        one partition at a time should use this.
+        """
+        self.topic(topic_name)
+        try:
+            leader = self._leader_for(topic_name, partition)
+        except BrokerUnavailableError:
+            return 0  # matches end_offsets() when no replica is online
+        return leader.replica(topic_name, partition).log_end_offset
+
+    def beginning_offset(self, topic_name: str, partition: int) -> int:
+        """Log-start offset of a single partition (see :meth:`end_offset`)."""
+        self.topic(topic_name)
+        assignment = self._replication.assignment(topic_name, partition)
+        return self._brokers[assignment.leader].replica(
+            topic_name, partition
+        ).log_start_offset
+
     def partitions_for(self, topic_name: str) -> List[TopicPartition]:
         topic = self.topic(topic_name)
         return [(topic_name, index) for index in range(topic.num_partitions)]
@@ -388,11 +796,13 @@ class FabricCluster:
     def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
         """Crash a broker and re-elect leaders for its partitions."""
         self._brokers[broker_id].shutdown()
+        self._bump_metadata_epoch()
         return self._replication.handle_broker_failure(broker_id)
 
     def restore_broker(self, broker_id: int) -> None:
         """Bring a broker back; followers re-sync on the next replication pass."""
         self._brokers[broker_id].restart()
+        self._bump_metadata_epoch()
         for assignment in self._replication.all_assignments():
             if broker_id in assignment.replicas:
                 self._replication.replicate_from_leader(

@@ -5,19 +5,31 @@ consume from the earliest offset, the latest offset, or after a given
 timestamp; periodic automatic offset commits (at-least-once delivery) or
 manual commits; and consumer groups so that several consumers — or many
 instances of a trigger function — share a topic's partitions.
+
+Polling rides the cluster's fetch-session data plane: the whole
+assignment is served in one :meth:`FabricCluster.fetch_many` pass per
+poll (one authorization check per topic, leader resolutions cached on the
+session), and with ``prefetch=True`` a background thread pipelines the
+next fetch while the application processes the current batch.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence
 
-from repro.fabric.cluster import FabricCluster
-from repro.fabric.errors import CommitFailedError, IllegalGenerationError
+from repro.common.clock import Clock, SystemClock
+from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
+from repro.fabric.errors import CommitFailedError, FabricError, IllegalGenerationError
 from repro.fabric.group import TopicPartition
 from repro.fabric.record import StoredRecord
+
+#: Latency samples retained per client; long-running consumers/producers
+#: previously accumulated one float per poll forever.
+METRICS_WINDOW = 2048
 
 
 @dataclass(frozen=True)
@@ -25,8 +37,11 @@ class ConsumerConfig:
     """Client-side consumer configuration.
 
     ``receive_buffer_bytes`` defaults to the 2 MB the paper's evaluation
-    uses (Section V-B); ``auto_offset_reset`` selects earliest/latest
-    behaviour when the group has no committed offset.
+    uses (Section V-B) and caps each poll's fetch session as a whole;
+    ``auto_offset_reset`` selects earliest/latest behaviour when the group
+    has no committed offset.  ``prefetch`` enables the background prefetch
+    thread: while the application processes one batch, the next fetch is
+    already in flight.
     """
 
     group_id: str = "default-group"
@@ -37,6 +52,7 @@ class ConsumerConfig:
     max_poll_records: int = 500
     receive_buffer_bytes: int = 2 * 1024 * 1024
     start_timestamp: Optional[float] = None
+    prefetch: bool = False
 
     def validate(self) -> None:
         if self.auto_offset_reset not in ("earliest", "latest", "timestamp"):
@@ -57,7 +73,10 @@ class ConsumerMetrics:
     bytes_consumed: int = 0
     polls: int = 0
     commits: int = 0
-    poll_latencies: List[float] = field(default_factory=list)
+    prefetch_hits: int = 0
+    poll_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=METRICS_WINDOW)
+    )
 
 
 class FabricConsumer:
@@ -70,24 +89,42 @@ class FabricConsumer:
         config: Optional[ConsumerConfig] = None,
         *,
         principal: Optional[str] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.config = config or ConsumerConfig()
         self.config.validate()
         self._cluster = cluster
         self._principal = principal
+        self._clock: Clock = clock or SystemClock()
         self._topics = list(topics)
         self._lock = threading.RLock()
         self._positions: Dict[TopicPartition, int] = {}
         self._poll_cursor = 0
         self._closed = False
-        self._last_auto_commit = time.time()
+        self._last_auto_commit = self._clock.now()
         self.metrics = ConsumerMetrics()
+        self._session: FetchSession = cluster.fetch_session(principal=principal)
+        # Prefetch machinery (only materialised when config.prefetch).
+        self._prefetched: Dict[TopicPartition, List[StoredRecord]] = {}
+        self._prefetch_wakeup = threading.Event()
+        self._prefetch_stop = threading.Event()
+        self._prefetch_thread: Optional[threading.Thread] = None
+        self._prefetch_session: Optional[FetchSession] = None
         partitions = self._all_partitions()
         self._member_id, self._generation, assignment = cluster.groups.join(
             self.config.group_id, self.config.client_id, self._topics, partitions
         )
         self._assignment = list(assignment)
+        self._session.set_assignment(self._assignment)
         self._initialise_positions()
+        if self.config.prefetch:
+            self._prefetch_session = cluster.fetch_session(principal=principal)
+            self._prefetch_thread = threading.Thread(
+                target=self._prefetch_loop,
+                name=f"prefetch-{self._member_id}",
+                daemon=True,
+            )
+            self._prefetch_thread.start()
 
     # ------------------------------------------------------------------ #
     # Assignment / positions
@@ -121,8 +158,9 @@ class FabricConsumer:
                     self._positions[(topic, partition)] = committed
                     continue
                 if self.config.auto_offset_reset == "latest":
-                    end = self._cluster.end_offsets(topic)[partition]
-                    self._positions[(topic, partition)] = end
+                    self._positions[(topic, partition)] = self._cluster.end_offset(
+                        topic, partition
+                    )
                 elif self.config.auto_offset_reset == "timestamp":
                     log = self._cluster.topic(topic).partition(partition)
                     offset = log.offset_for_timestamp(self.config.start_timestamp or 0.0)
@@ -130,8 +168,9 @@ class FabricConsumer:
                         offset if offset is not None else log.log_end_offset
                     )
                 else:  # earliest
-                    begin = self._cluster.beginning_offsets(topic)[partition]
-                    self._positions[(topic, partition)] = begin
+                    self._positions[(topic, partition)] = self._cluster.beginning_offset(
+                        topic, partition
+                    )
 
     def position(self, topic: str, partition: int) -> int:
         with self._lock:
@@ -143,18 +182,23 @@ class FabricConsumer:
             if (topic, partition) not in self._assignment:
                 raise ValueError(f"{topic}-{partition} is not assigned to this consumer")
             self._positions[(topic, partition)] = max(0, offset)
+            self._prefetched.pop((topic, partition), None)
 
     def seek_to_beginning(self) -> None:
         with self._lock:
             for topic, partition in self._assignment:
-                begin = self._cluster.beginning_offsets(topic)[partition]
-                self._positions[(topic, partition)] = begin
+                self._positions[(topic, partition)] = self._cluster.beginning_offset(
+                    topic, partition
+                )
+            self._prefetched.clear()
 
     def seek_to_end(self) -> None:
         with self._lock:
             for topic, partition in self._assignment:
-                end = self._cluster.end_offsets(topic)[partition]
-                self._positions[(topic, partition)] = end
+                self._positions[(topic, partition)] = self._cluster.end_offset(
+                    topic, partition
+                )
+            self._prefetched.clear()
 
     # ------------------------------------------------------------------ #
     # Poll / commit
@@ -166,15 +210,20 @@ class FabricConsumer:
 
         Each poll starts from a different partition of the assignment (the
         cursor advances by one per poll), so a hot early partition cannot
-        starve later ones when ``max_poll_records`` is reached.  Advances
-        in-memory positions; offsets become durable only when committed
-        (automatically or via :meth:`commit`).
+        starve later ones when ``max_poll_records`` is reached.  The whole
+        rotated assignment is served by one fetch-session pass, with
+        ``max_poll_records``/``receive_buffer_bytes`` charged across the
+        session.  With ``prefetch=True``, records the background thread
+        already fetched are delivered first and the next prefetch is kicked
+        off before returning.  Advances in-memory positions; offsets become
+        durable only when committed (automatically or via :meth:`commit`).
         """
         self._ensure_open()
         self._maybe_rejoin()
         limit = max_records if max_records is not None else self.config.max_poll_records
         start = time.perf_counter()
         out: Dict[TopicPartition, List[StoredRecord]] = {}
+        pivot = 0
         with self._lock:
             assignment = list(self._assignment)
             if assignment:
@@ -182,33 +231,104 @@ class FabricConsumer:
                 assignment = assignment[pivot:] + assignment[:pivot]
                 self._poll_cursor = pivot + 1
         remaining = limit
-        for topic, partition in assignment:
-            if remaining <= 0:
-                break
-            position = self.position(topic, partition)
-            records = self._cluster.fetch(
-                topic,
-                partition,
-                position,
-                max_records=remaining,
-                max_bytes=self.config.receive_buffer_bytes,
-                principal=self._principal,
-            )
-            if records:
-                out[(topic, partition)] = records
+        budget = self.config.receive_buffer_bytes
+        if self._prefetch_thread is not None and remaining > 0:
+            remaining, budget = self._drain_prefetched(assignment, remaining, budget, out)
+        # Drained prefetch records were charged against the same
+        # record/byte budget the synchronous fetch gets, so a poll never
+        # exceeds ``receive_buffer_bytes`` by more than the one
+        # make-progress record a plain fetch may also grant.  Any leftover
+        # buffer is protected from duplicate delivery by the
+        # offset-matches-position check on the next drain.
+        if remaining > 0 and budget > 0 and assignment:
+            try:
+                batches = self._session.fetch_assignment(
+                    self._positions,
+                    start=pivot,
+                    max_records=remaining,
+                    max_bytes=budget,
+                )
+            except Exception:
+                # The drain already advanced positions for records the
+                # application will now never see (poll raises).  Roll them
+                # back into the prefetch buffer so the next successful poll
+                # delivers them — at-least-once must survive a failed fetch.
                 with self._lock:
-                    self._positions[(topic, partition)] = records[-1].offset + 1
-                remaining -= len(records)
-                self.metrics.records_consumed += len(records)
-                self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)
+                    for tp, records in out.items():
+                        if self._positions.get(tp) == records[-1].offset + 1:
+                            self._prefetched[tp] = records + self._prefetched.get(tp, [])
+                            self._positions[tp] = records[0].offset
+                            self.metrics.prefetch_hits -= len(records)
+                raise
+            with self._lock:
+                for tp, records in batches.items():
+                    existing = out.get(tp)
+                    if existing:
+                        existing.extend(records)
+                    else:
+                        out[tp] = records
+                    self._positions[tp] = records[-1].offset + 1
+        for records in out.values():
+            self.metrics.records_consumed += len(records)
+            self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)
         self.metrics.polls += 1
         self.metrics.poll_latencies.append(time.perf_counter() - start)
         if self.config.enable_auto_commit:
-            now = time.time()
+            now = self._clock.now()
             if now - self._last_auto_commit >= self.config.auto_commit_interval_seconds:
                 self.commit()
                 self._last_auto_commit = now
+        if self._prefetch_thread is not None and not self._closed:
+            self._prefetch_wakeup.set()
         return out
+
+    def _drain_prefetched(
+        self,
+        assignment: List[TopicPartition],
+        remaining: int,
+        budget: int,
+        out: Dict[TopicPartition, List[StoredRecord]],
+    ) -> tuple:
+        """Deliver buffered prefetch results that still match our positions.
+
+        Charges both the record and the byte budget and returns what is
+        left of each for the synchronous fetch.  Slightly stricter than
+        the broker-side charging it mirrors (see
+        ``FabricCluster._assignment_fetch``): the make-progress record is
+        granted once per poll (``take or out``), not once per partition,
+        so drain + sync fetch together stay within one overshoot record.
+        """
+        with self._lock:
+            for tp in assignment:
+                if remaining <= 0 or budget <= 0:
+                    break
+                buffered = self._prefetched.get(tp)
+                if not buffered:
+                    continue
+                if buffered[0].offset != self._positions.get(tp):
+                    # A seek moved the position after the prefetch: stale.
+                    del self._prefetched[tp]
+                    continue
+                take: List[StoredRecord] = []
+                for record in buffered:
+                    if len(take) >= remaining:
+                        break
+                    size = record.size_bytes()
+                    if (take or out) and size > budget:
+                        break
+                    take.append(record)
+                    budget -= size
+                if not take:
+                    break  # byte budget exhausted mid-assignment
+                out[tp] = take
+                if len(take) == len(buffered):
+                    del self._prefetched[tp]
+                else:
+                    self._prefetched[tp] = buffered[len(take):]
+                self._positions[tp] = take[-1].offset + 1
+                remaining -= len(take)
+                self.metrics.prefetch_hits += len(take)
+        return remaining, budget
 
     def poll_flat(self, max_records: Optional[int] = None) -> List[StoredRecord]:
         """Like :meth:`poll` but flattened into a single offset-ordered list."""
@@ -242,9 +362,64 @@ class FabricConsumer:
         """Total lag of this consumer's assignment (for monitoring)."""
         total = 0
         for topic, partition in self.assignment():
-            end = self._cluster.end_offsets(topic)[partition]
+            end = self._cluster.end_offset(topic, partition)
             total += max(0, end - self.position(topic, partition))
         return total
+
+    # ------------------------------------------------------------------ #
+    # Background prefetch
+    # ------------------------------------------------------------------ #
+    def _prefetch_loop(self) -> None:
+        while True:
+            self._prefetch_wakeup.wait()
+            self._prefetch_wakeup.clear()
+            if self._prefetch_stop.is_set():
+                return
+            try:
+                self._prefetch_once()
+            except FabricError:
+                # Transient (leader election, revoked ACL): the next poll
+                # falls back to a synchronous fetch and surfaces the error
+                # to the application if it persists.
+                pass
+
+    def _prefetch_once(self) -> None:
+        """One background fetch pass from the current positions.
+
+        Safe to call concurrently with :meth:`poll`: the result is only
+        installed if, at install time, the group generation is unchanged,
+        the partition is still owned, its buffer is still empty and the
+        fetched records start exactly at the current position.  Anything
+        else — a rebalance, a seek, a racing drain — discards the fetch.
+        """
+        assert self._prefetch_session is not None
+        with self._lock:
+            if self._closed:
+                return
+            generation = self._generation
+            requests = [
+                FetchRequest(topic, partition, self._positions[(topic, partition)])
+                for topic, partition in self._assignment
+                if (topic, partition) in self._positions
+                and not self._prefetched.get((topic, partition))
+            ]
+        if not requests:
+            return
+        batches = self._prefetch_session.fetch(
+            requests,
+            max_records=self.config.max_poll_records,
+            max_bytes=self.config.receive_buffer_bytes,
+        )
+        with self._lock:
+            if self._closed or generation != self._generation:
+                return  # rebalanced underneath us: never deliver stale records
+            owned = set(self._assignment)
+            for tp, records in batches.items():
+                if tp not in owned or self._prefetched.get(tp):
+                    continue
+                if records[0].offset != self._positions.get(tp):
+                    continue  # a seek raced the fetch
+                self._prefetched[tp] = list(records)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -259,6 +434,11 @@ class FabricConsumer:
             with self._lock:
                 self._generation = current
                 self._assignment = list(assignment)
+                self._session.set_assignment(self._assignment)
+                # Rebalance: prefetched-but-undelivered records may belong
+                # to partitions we no longer own — drop the whole buffer
+                # rather than risk stale or duplicate delivery.
+                self._prefetched.clear()
                 # Forget positions of revoked partitions: committing them
                 # after the rebalance would clobber the new owner's progress.
                 owned = set(self._assignment)
@@ -272,14 +452,20 @@ class FabricConsumer:
                         if committed is not None:
                             self._positions[tp] = committed
                         elif self.config.auto_offset_reset == "latest":
-                            self._positions[tp] = self._cluster.end_offsets(tp[0])[tp[1]]
+                            self._positions[tp] = self._cluster.end_offset(tp[0], tp[1])
                         else:
-                            self._positions[tp] = self._cluster.beginning_offsets(tp[0])[tp[1]]
+                            self._positions[tp] = self._cluster.beginning_offset(
+                                tp[0], tp[1]
+                            )
 
     def close(self) -> None:
-        """Commit (if auto-commit) and leave the group."""
+        """Stop prefetching, commit (if auto-commit) and leave the group."""
         if self._closed:
             return
+        if self._prefetch_thread is not None:
+            self._prefetch_stop.set()
+            self._prefetch_wakeup.set()
+            self._prefetch_thread.join(timeout=5.0)
         if self.config.enable_auto_commit:
             try:
                 self.commit()

@@ -177,9 +177,28 @@ class PartitionLog:
         is caught up).  Fetching below the log start or beyond the end
         raises :class:`OffsetOutOfRangeError`, matching Kafka semantics.
         """
+        return self.fetch_with_usage(
+            offset, max_records=max_records, max_bytes=max_bytes
+        )[0]
+
+    def fetch_with_usage(
+        self,
+        offset: int,
+        max_records: int = 500,
+        max_bytes: Optional[int] = None,
+    ) -> tuple[list[StoredRecord], int]:
+        """Like :meth:`fetch` but also returns the bytes consumed.
+
+        The byte count lets a caller serving several partitions (a fetch
+        session) charge this partition's records against a budget shared
+        across the whole session instead of granting ``max_bytes`` to each
+        partition independently.  With ``max_bytes=None`` no budget exists
+        and the reported usage is ``0`` (the replication fast path keeps
+        its plain slice, paying nothing for accounting).
+        """
         with self._lock:
             if offset == self._next_offset:
-                return []
+                return [], 0
             if offset < self._log_start_offset or offset > self._next_offset:
                 raise OffsetOutOfRangeError(
                     f"offset {offset} out of range "
@@ -189,8 +208,8 @@ class PartitionLog:
             index = self._index_of(offset)
             if max_bytes is None:
                 # No byte budget: a plain slice (the replication fast path).
-                return self._records[index : index + max_records]
-            out: list[StoredRecord] = []
+                return self._records[index : index + max_records], 0
+            out = []
             budget = max_bytes
             for stored in self._records[index:]:
                 if len(out) >= max_records:
@@ -200,7 +219,7 @@ class PartitionLog:
                     break
                 out.append(stored)
                 budget -= size
-            return out
+            return out, max_bytes - budget
 
     def read_all(self) -> Sequence[StoredRecord]:
         """Snapshot of every retained record (testing/persistence helper)."""

@@ -3,23 +3,31 @@
 Implements the client-side behaviours the Octopus SDK exposes
 (Section IV-E/IV-F): configurable acknowledgements, bounded buffering
 (``buffer.memory``), batching per partition, automatic retries on
-retriable errors, and an asynchronous ``flush``.  The producer talks to a
-:class:`~repro.fabric.cluster.FabricCluster` directly; when used through
-the SDK the cluster handle is obtained via the Octopus Web Service after
-authentication.
+retriable errors, and an asynchronous ``flush``.  With
+``linger_seconds > 0`` a background delivery thread flushes lingered
+batches on its own — the application does not need another :meth:`buffer`
+call (or any call at all) for buffered events to reach the brokers.  The
+producer talks to a :class:`~repro.fabric.cluster.FabricCluster`
+directly; when used through the SDK the cluster handle is obtained via
+the Octopus Web Service after authentication.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
+from repro.common.clock import Clock, SystemClock
 from repro.fabric.cluster import FabricCluster
 from repro.fabric.errors import FabricError
 from repro.fabric.partitioner import Partitioner
 from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
+
+#: Latency samples retained (matches the consumer's bounded window).
+METRICS_WINDOW = 2048
 
 
 @dataclass(frozen=True)
@@ -63,7 +71,9 @@ class ProducerMetrics:
     records_failed: int = 0
     retries: int = 0
     batches_sent: int = 0
-    send_latencies: List[float] = field(default_factory=list)
+    send_latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=METRICS_WINDOW)
+    )
 
     def record_send(self, size: int, latency: float) -> None:
         self.records_sent += 1
@@ -87,6 +97,7 @@ class FabricProducer:
         *,
         principal: Optional[str] = None,
         sleep_fn: Callable[[float], None] = time.sleep,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.config = config or ProducerConfig()
         self.config.validate()
@@ -94,12 +105,18 @@ class FabricProducer:
         self._principal = principal
         self._partitioner = Partitioner()
         self._sleep = sleep_fn
+        self._clock: Clock = clock or SystemClock()
         self._lock = threading.RLock()
+        # Serializes whole flush passes (background vs. foreground) so
+        # concurrent flushes cannot interleave batches of one partition.
+        self._flush_lock = threading.Lock()
         self._pending: Dict[tuple[str, int], RecordBatch] = {}
         self._sealed: List[RecordBatch] = []
         self._partition_counts: Dict[str, tuple[int, float]] = {}
         self._buffered_bytes = 0
         self._closed = False
+        self._delivery_stop = threading.Event()
+        self._delivery_thread: Optional[threading.Thread] = None
         self.metrics = ProducerMetrics()
 
     # ------------------------------------------------------------------ #
@@ -181,17 +198,28 @@ class FabricProducer:
             batch_key = (topic, target)
             batch = self._pending.get(batch_key)
             if batch is None:
-                batch = RecordBatch(topic, target, max_bytes=self.config.batch_max_bytes)
+                batch = RecordBatch(
+                    topic,
+                    target,
+                    max_bytes=self.config.batch_max_bytes,
+                    created_at=self._clock.now(),
+                )
                 self._pending[batch_key] = batch
             if not batch.try_append(record):
                 # Seal the full batch; it is delivered on the next flush,
                 # never dropped.
                 self._sealed.append(batch)
-                batch = RecordBatch(topic, target, max_bytes=self.config.batch_max_bytes)
+                batch = RecordBatch(
+                    topic,
+                    target,
+                    max_bytes=self.config.batch_max_bytes,
+                    created_at=self._clock.now(),
+                )
                 batch.try_append(record)
                 self._pending[batch_key] = batch
             self._buffered_bytes += size
         if self.config.linger_seconds > 0:
+            self._ensure_delivery_thread()
             self._flush_if_lingered()
 
     def flush(self) -> List[RecordMetadata]:
@@ -203,28 +231,31 @@ class FabricProducer:
         to the buffer so a later flush can retry it — buffered events are
         never silently lost.
         """
-        with self._lock:
-            batches = self._sealed + [b for b in self._pending.values() if len(b)]
-            self._sealed = []
-            self._pending = {}
-            self._buffered_bytes = 0
-        out: List[RecordMetadata] = []
-        for index, batch in enumerate(batches):
-            try:
-                # Batches that fail here are re-buffered below, not lost, so
-                # they must not be counted in records_failed.
-                out.extend(self._send_batch_with_retries(batch, count_failures=False))
-            except FabricError:
-                with self._lock:
-                    remaining = batches[index:]
-                    self._sealed = remaining + self._sealed
-                    self._buffered_bytes += sum(b.size_bytes for b in remaining)
-                raise
-        return out
+        with self._flush_lock:
+            with self._lock:
+                batches = self._sealed + [b for b in self._pending.values() if len(b)]
+                self._sealed = []
+                self._pending = {}
+                self._buffered_bytes = 0
+            out: List[RecordMetadata] = []
+            for index, batch in enumerate(batches):
+                try:
+                    # Batches that fail here are re-buffered below, not lost,
+                    # so they must not be counted in records_failed.
+                    out.extend(
+                        self._send_batch_with_retries(batch, count_failures=False)
+                    )
+                except FabricError:
+                    with self._lock:
+                        remaining = batches[index:]
+                        self._sealed = remaining + self._sealed
+                        self._buffered_bytes += sum(b.size_bytes for b in remaining)
+                    raise
+            return out
 
     def _flush_if_lingered(self) -> None:
         """Auto-flush when the oldest buffered batch exceeds ``linger_seconds``."""
-        now = time.time()
+        now = self._clock.now()
         with self._lock:
             oldest = min(
                 (
@@ -237,16 +268,63 @@ class FabricProducer:
         if oldest is not None and now - oldest >= self.config.linger_seconds:
             self.flush()
 
+    def _ensure_delivery_thread(self) -> None:
+        """Start the background delivery thread (once) when lingering."""
+        if self._delivery_thread is not None:
+            return
+        with self._lock:
+            if self._delivery_thread is not None or self._closed:
+                return
+            self._delivery_thread = threading.Thread(
+                target=self._delivery_loop,
+                name=f"delivery-{self.config.client_id}",
+                daemon=True,
+            )
+            self._delivery_thread.start()
+
+    def _delivery_loop(self) -> None:
+        """Flush lingered batches without further application calls.
+
+        Wakes a few times per linger interval and compares batch ages on
+        the injected clock.  Under a simulated clock the linger can elapse
+        at any real moment, so the wait is additionally capped at 50 ms to
+        stay responsive; real-clock producers sleep ``linger/4`` and don't
+        busy-wake.
+        """
+        interval = max(self.config.linger_seconds / 4.0, 0.001)
+        if not isinstance(self._clock, SystemClock):
+            interval = min(interval, 0.05)
+        while not self._delivery_stop.wait(interval):
+            try:
+                self._flush_if_lingered()
+            except FabricError:
+                # The failed batches were re-buffered; retried next tick.
+                pass
+
     @property
     def buffered_bytes(self) -> int:
         with self._lock:
             return self._buffered_bytes
 
     def close(self) -> None:
-        """Flush outstanding events and refuse further sends."""
+        """Stop background delivery, flush outstanding events, refuse sends."""
         if self._closed:
             return
-        self.flush()
+        stopped_thread = self._delivery_thread
+        if stopped_thread is not None:
+            self._delivery_stop.set()
+            stopped_thread.join(timeout=5.0)
+        try:
+            self.flush()
+        except FabricError:
+            # The failed batches were re-buffered and the producer stays
+            # open, so background delivery must be restartable — otherwise
+            # lingered batches would sit in the buffer forever.
+            if stopped_thread is not None:
+                with self._lock:
+                    self._delivery_stop = threading.Event()
+                    self._delivery_thread = None
+            raise
         self._closed = True
 
     def __enter__(self) -> "FabricProducer":

@@ -150,13 +150,20 @@ class RecordBatch:
     throughput of local clients in the paper's evaluation.
     """
 
-    def __init__(self, topic: str, partition: int, max_bytes: int = 1 << 20) -> None:
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        max_bytes: int = 1 << 20,
+        created_at: float | None = None,
+    ) -> None:
         self.topic = topic
         self.partition = partition
         self.max_bytes = int(max_bytes)
         self._records: list[EventRecord] = []
         self._size = 0
-        self.created_at = time.time()
+        # Injectable so linger timing can run on a test-controlled clock.
+        self.created_at = created_at if created_at is not None else time.time()
 
     def __len__(self) -> int:
         return len(self._records)

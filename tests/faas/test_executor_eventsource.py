@@ -237,6 +237,20 @@ class TestEventSourceMapping:
         mapping.drain()
         assert len(seen) == 55
 
+    def test_prefetching_mapping_drains_backlog_exactly_once(self, cluster):
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster,
+            lambda event, ctx: seen.extend(event["records"]),
+            EventSourceConfig(batch_size=10, prefetch=True),
+        )
+        producer = FabricProducer(cluster)
+        for i in range(40):
+            producer.send("fs-events", {"i": i})
+        mapping.drain()
+        mapping.close()
+        assert sorted(r["value"]["i"] for r in seen) == list(range(40))
+
     def test_disabled_mapping_does_not_poll(self, cluster):
         mapping, executor = self.make_mapping(cluster, lambda e, c: None)
         FabricProducer(cluster).send("fs-events", {"x": 1})

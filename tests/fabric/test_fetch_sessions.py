@@ -1,0 +1,576 @@
+"""Tests for the fetch-session data plane and the clients rebuilt on it.
+
+Covers :meth:`FabricCluster.fetch_many`/:class:`FetchSession` semantics
+(session-wide caps, per-topic authorization, leader caching and
+invalidation under broker failure), the consumer's background prefetch
+thread (including discard-on-rebalance), the producer's background
+delivery thread, injectable clocks for both, batched MirrorMaker sync and
+the partition-drift regression.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.fabric.cluster import FabricCluster, FetchRequest
+from repro.fabric.consumer import ConsumerConfig, FabricConsumer
+from repro.fabric.errors import AuthorizationError, UnknownTopicError
+from repro.fabric.mirrormaker import MirrorMaker
+from repro.fabric.producer import FabricProducer, ProducerConfig
+from repro.fabric.record import EventRecord
+from repro.fabric.topic import TopicConfig
+
+
+def make_cluster(partitions=4, brokers=2, topic="events", replication=2):
+    cluster = FabricCluster(num_brokers=brokers)
+    cluster.create_topic(
+        topic,
+        TopicConfig(num_partitions=partitions, replication_factor=replication),
+    )
+    return cluster
+
+
+def fill(cluster, topic, partition, count, size=76):
+    # A ``size``-char string serializes to ``size`` B; +24 B framing.
+    cluster.append_batch(
+        topic, partition, [EventRecord(value="x" * size) for _ in range(count)]
+    )
+
+
+def wait_until(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestFetchMany:
+    def test_matches_per_partition_fetch(self):
+        cluster = make_cluster(partitions=3)
+        for p in range(3):
+            fill(cluster, "events", p, 5 + p)
+        batches = cluster.fetch_many(
+            [FetchRequest("events", p, 0) for p in range(3)]
+        )
+        for p in range(3):
+            expected = cluster.fetch("events", p, 0)
+            assert [r.offset for r in batches[("events", p)]] == [
+                r.offset for r in expected
+            ]
+            assert [r.value for r in batches[("events", p)]] == [
+                r.value for r in expected
+            ]
+
+    def test_accepts_mapping_of_offsets(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 4)
+        fill(cluster, "events", 1, 4)
+        batches = cluster.fetch_many({("events", 0): 2, ("events", 1): 0})
+        assert [r.offset for r in batches[("events", 0)]] == [2, 3]
+        assert [r.offset for r in batches[("events", 1)]] == [0, 1, 2, 3]
+
+    def test_spans_multiple_topics(self):
+        cluster = make_cluster(partitions=2)
+        cluster.create_topic("health", TopicConfig(num_partitions=1))
+        fill(cluster, "events", 0, 3)
+        fill(cluster, "health", 0, 2)
+        batches = cluster.fetch_many(
+            [FetchRequest("events", 0, 0), FetchRequest("health", 0, 0)]
+        )
+        assert len(batches[("events", 0)]) == 3
+        assert len(batches[("health", 0)]) == 2
+
+    def test_record_cap_is_charged_across_the_session(self):
+        cluster = make_cluster(partitions=3)
+        for p in range(3):
+            fill(cluster, "events", p, 10)
+        batches = cluster.fetch_many(
+            [FetchRequest("events", p, 0) for p in range(3)], max_records=15
+        )
+        assert sum(len(r) for r in batches.values()) == 15
+        # Request order wins: the first partitions take their fill.
+        assert len(batches[("events", 0)]) == 10
+        assert len(batches[("events", 1)]) == 5
+        assert ("events", 2) not in batches
+
+    def test_byte_cap_is_charged_across_the_session(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10, size=76)  # 100 B each on the wire
+        fill(cluster, "events", 1, 10, size=76)
+        batches = cluster.fetch_many(
+            [FetchRequest("events", 0, 0), FetchRequest("events", 1, 0)],
+            max_bytes=250,
+        )
+        # Partition 0: two records fit the budget; partition 1: the first
+        # record is always granted (Kafka's make-progress rule).
+        assert len(batches[("events", 0)]) == 2
+        assert len(batches[("events", 1)]) == 1
+
+    def test_per_request_cap_nests_under_session_cap(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10)
+        fill(cluster, "events", 1, 10)
+        batches = cluster.fetch_many(
+            [
+                FetchRequest("events", 0, 0, max_records=3),
+                FetchRequest("events", 1, 0),
+            ],
+            max_records=100,
+        )
+        assert len(batches[("events", 0)]) == 3
+        assert len(batches[("events", 1)]) == 10
+
+    def test_one_authorization_check_per_topic(self):
+        calls = []
+
+        def authorizer(principal, operation, topic):
+            calls.append((principal, operation, topic))
+            return True
+
+        cluster = make_cluster(partitions=8)
+        cluster.set_authorizer(authorizer)
+        for p in range(8):
+            fill(cluster, "events", p, 2)
+        calls.clear()
+        cluster.fetch_many(
+            [FetchRequest("events", p, 0) for p in range(8)], principal="alice"
+        )
+        assert calls == [("alice", "READ", "events")]
+
+    def test_unauthorized_principal_is_rejected(self):
+        cluster = make_cluster()
+        fill(cluster, "events", 0, 1)
+        cluster.set_authorizer(lambda principal, op, topic: principal == "alice")
+        with pytest.raises(AuthorizationError):
+            cluster.fetch_many([FetchRequest("events", 0, 0)], principal="mallory")
+
+    def test_unknown_topic_raises(self):
+        cluster = make_cluster()
+        with pytest.raises(UnknownTopicError):
+            cluster.fetch_many([FetchRequest("missing", 0, 0)])
+
+    def test_empty_request_set(self):
+        cluster = make_cluster()
+        assert cluster.fetch_many([]) == {}
+
+    def test_mixed_request_shapes_are_normalized(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 3)
+        fill(cluster, "events", 1, 3)
+        batches = cluster.fetch_many(
+            [FetchRequest("events", 0, 0), ("events", 1, 1)]
+        )
+        assert len(batches[("events", 0)]) == 3
+        assert [r.offset for r in batches[("events", 1)]] == [1, 2]
+
+
+class TestFetchSessionFailover:
+    def test_leader_cache_reused_across_calls(self):
+        cluster = make_cluster(partitions=4)
+        for p in range(4):
+            fill(cluster, "events", p, 3)
+        session = cluster.fetch_session()
+        requests = [FetchRequest("events", p, 0) for p in range(4)]
+        first = session.fetch(requests)
+        assert len(session.cached_leaders()) == 4
+        cached = dict(session._leaders)
+        second = session.fetch(requests)
+        assert session._leaders == cached  # no re-resolution
+        assert first.keys() == second.keys()
+
+    def test_broker_failure_mid_session_fails_over(self):
+        cluster = make_cluster(partitions=4, brokers=3, replication=3)
+        for p in range(4):
+            fill(cluster, "events", p, 5)
+        session = cluster.fetch_session()
+        requests = [FetchRequest("events", p, 0) for p in range(4)]
+        before = session.fetch(requests)
+        assert sum(len(r) for r in before.values()) == 20
+        victim = next(iter(session.cached_leaders().values()))
+        cluster.fail_broker(victim)
+        after = session.fetch(requests)
+        assert sum(len(r) for r in after.values()) == 20
+        assert all(b != victim for b in session.cached_leaders().values())
+
+    def test_broker_restore_invalidates_stale_cache(self):
+        cluster = make_cluster(partitions=2, brokers=2)
+        fill(cluster, "events", 0, 4)
+        fill(cluster, "events", 1, 4)
+        session = cluster.fetch_session()
+        requests = [FetchRequest("events", p, 0) for p in range(2)]
+        session.fetch(requests)
+        victim = next(iter(session.cached_leaders().values()))
+        cluster.fail_broker(victim)
+        session.fetch(requests)  # fail over to the surviving broker
+        cluster.restore_broker(victim)
+        # The metadata epoch moved on restore, so the session re-resolves
+        # instead of trusting brokers cached before the failure.
+        epoch = cluster.metadata_epoch
+        batches = session.fetch(requests)
+        assert sum(len(r) for r in batches.values()) == 8
+        assert session._epoch == epoch
+
+
+class TestConsumerOnFetchSessions:
+    def test_poll_budget_spans_partitions(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10, size=76)  # 100 B each
+        fill(cluster, "events", 1, 10, size=76)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(enable_auto_commit=False, receive_buffer_bytes=250),
+        )
+        records = consumer.poll_flat()
+        # 2 records fit the session budget, plus partition 1's guaranteed
+        # first record — the byte cap is shared, not per partition.
+        assert len(records) == 3
+        consumer.close()
+
+    def test_auto_commit_follows_injected_clock(self):
+        cluster = make_cluster(partitions=1)
+        fill(cluster, "events", 0, 6)
+        clock = ManualClock(start=1000.0)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(
+                group_id="clocked", auto_commit_interval_seconds=5.0
+            ),
+            clock=clock,
+        )
+        consumer.poll(max_records=3)
+        assert consumer.committed("events", 0) is None  # interval not elapsed
+        clock.advance(6.0)
+        consumer.poll(max_records=3)
+        assert consumer.committed("events", 0) == 6
+        consumer.close()
+
+
+class TestPrefetch:
+    def test_prefetched_records_are_drained_on_poll(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10)
+        fill(cluster, "events", 1, 10)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(enable_auto_commit=False, prefetch=True),
+        )
+        consumer._prefetch_once()  # deterministically prime the buffer
+        assert sum(len(v) for v in consumer._prefetched.values()) == 20
+        records = consumer.poll_flat()
+        assert len(records) == 20
+        assert consumer.metrics.prefetch_hits == 20
+        consumer.close()
+
+    def test_prefetching_consumer_delivers_exactly_once(self):
+        cluster = make_cluster(partitions=4)
+        for p in range(4):
+            fill(cluster, "events", p, 100)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(
+                enable_auto_commit=False, prefetch=True, max_poll_records=37
+            ),
+        )
+        seen = {}
+        deadline = time.monotonic() + 10.0
+        while sum(len(v) for v in seen.values()) < 400:
+            assert time.monotonic() < deadline, "consumer stalled"
+            for tp, records in consumer.poll().items():
+                seen.setdefault(tp, []).extend(r.offset for r in records)
+        consumer.close()
+        assert sum(len(v) for v in seen.values()) == 400
+        for offsets in seen.values():
+            assert offsets == sorted(set(offsets))  # no duplicates, in order
+
+    def test_prefetched_records_discarded_on_rebalance(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10)
+        fill(cluster, "events", 1, 10)
+        first = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(
+                group_id="shared", enable_auto_commit=False, prefetch=True
+            ),
+        )
+        first._prefetch_once()
+        assert first._prefetched  # buffer primed for both partitions
+        second = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(group_id="shared", enable_auto_commit=False),
+        )
+        batches = first.poll()  # detects the rebalance
+        assert first._prefetched == {} or set(first._prefetched) <= set(
+            first.assignment()
+        )
+        owned = set(first.assignment())
+        assert len(owned) == 1
+        # Nothing from the revoked partition leaked out of the stale buffer.
+        assert set(batches) <= owned
+        for tp, records in batches.items():
+            assert [r.offset for r in records] == list(range(len(records)))
+        first.close()
+        second.close()
+
+    def test_prefetch_drain_charges_byte_budget(self):
+        """Regression: a prefetching poll must not return 2x the byte cap
+        (drained buffer + a fresh full-budget fetch)."""
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 10, size=76)  # 100 B each on the wire
+        fill(cluster, "events", 1, 10, size=76)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(
+                enable_auto_commit=False, prefetch=True, receive_buffer_bytes=250
+            ),
+        )
+        consumer._prefetch_once()  # buffers up to the 250 B session cap
+        records = consumer.poll_flat()
+        # At most the cap plus the single make-progress record a plain
+        # fetch may also grant.
+        assert sum(r.size_bytes() for r in records) <= 250 + 100
+        assert records  # the budget still makes progress
+        consumer.close()
+
+    def test_seek_discards_stale_prefetch(self):
+        cluster = make_cluster(partitions=1)
+        fill(cluster, "events", 0, 10)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(enable_auto_commit=False, prefetch=True),
+        )
+        consumer.poll(max_records=5)
+        consumer._prefetch_once()  # buffers offsets 5..9
+        consumer.seek("events", 0, 0)
+        records = consumer.poll_flat()
+        assert [r.offset for r in records] == list(range(10))
+        consumer.close()
+
+    def test_failed_sync_fetch_rolls_back_drained_records(self):
+        """Regression: if the synchronous fetch after a prefetch drain
+        raises, the drained records must return to the buffer — otherwise
+        their positions are advanced past records the application never
+        saw (at-least-once violation)."""
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 5)
+        fill(cluster, "events", 1, 5)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(enable_auto_commit=False, prefetch=True),
+        )
+        consumer._prefetch_once()  # buffers all 10 records
+        cluster.set_authorizer(lambda principal, op, topic: op != "READ")
+        with pytest.raises(AuthorizationError):
+            consumer.poll()
+        assert consumer.position("events", 0) == 0
+        assert consumer.position("events", 1) == 0
+        assert sum(len(v) for v in consumer._prefetched.values()) == 10
+        cluster.set_authorizer(None)
+        got = {}
+        deadline = time.monotonic() + 10.0
+        while sum(len(v) for v in got.values()) < 10:
+            assert time.monotonic() < deadline
+            for tp, records in consumer.poll().items():
+                got.setdefault(tp, []).extend(r.offset for r in records)
+        consumer.close()
+        for offsets in got.values():
+            assert offsets == list(range(5))  # exactly once, in order
+
+    def test_concurrent_prefetch_never_duplicates_buffer(self):
+        cluster = make_cluster(partitions=2)
+        fill(cluster, "events", 0, 50)
+        fill(cluster, "events", 1, 50)
+        consumer = FabricConsumer(
+            cluster,
+            ["events"],
+            ConsumerConfig(enable_auto_commit=False, prefetch=True),
+        )
+        threads = [
+            threading.Thread(target=consumer._prefetch_once) for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for tp, buffered in consumer._prefetched.items():
+            offsets = [r.offset for r in buffered]
+            assert offsets == sorted(set(offsets))
+        assert len(consumer.poll_flat(max_records=200)) == 100
+        consumer.close()
+
+
+class TestProducerBackgroundDelivery:
+    def test_linger_flushes_without_further_calls(self):
+        cluster = make_cluster(partitions=1)
+        producer = FabricProducer(
+            cluster, ProducerConfig(linger_seconds=0.01)
+        )
+        producer.buffer("events", "only-event", partition=0)
+        assert wait_until(
+            lambda: cluster.end_offset("events", 0) == 1
+        ), "background delivery thread never flushed the lingered batch"
+        assert producer.buffered_bytes == 0
+        assert [r.value for r in cluster.fetch("events", 0, 0)] == ["only-event"]
+        producer.close()
+
+    def test_linger_timing_runs_on_injected_clock(self):
+        cluster = make_cluster(partitions=1)
+        clock = ManualClock(start=500.0)
+        producer = FabricProducer(
+            cluster, ProducerConfig(linger_seconds=60.0), clock=clock
+        )
+        producer.buffer("events", "patient", partition=0)
+        # Real time passes, simulated time does not: nothing may flush.
+        time.sleep(0.15)
+        assert cluster.end_offset("events", 0) == 0
+        clock.advance(61.0)  # one simulated minute; no buffer()/flush() call
+        assert wait_until(lambda: cluster.end_offset("events", 0) == 1)
+        producer.close()
+
+    def test_close_joins_delivery_thread(self):
+        cluster = make_cluster(partitions=1)
+        producer = FabricProducer(cluster, ProducerConfig(linger_seconds=0.01))
+        producer.buffer("events", "bye", partition=0)
+        producer.close()
+        assert cluster.end_offset("events", 0) == 1
+        assert not producer._delivery_thread.is_alive()
+
+    def test_failed_close_restarts_delivery_on_next_buffer(self):
+        """Regression: a close() whose flush fails must leave background
+        delivery restartable on the still-open producer."""
+        from repro.fabric.errors import FabricError
+
+        cluster = FabricCluster(num_brokers=1)
+        cluster.create_topic("events", TopicConfig(num_partitions=1, replication_factor=1))
+        clock = ManualClock(start=0.0)
+        producer = FabricProducer(
+            cluster, ProducerConfig(linger_seconds=60.0, retries=0), clock=clock
+        )
+        producer.buffer("events", "stuck", partition=0)  # frozen clock: no auto-flush
+        cluster.fail_broker(0)
+        with pytest.raises(FabricError):
+            producer.close()
+        assert producer.buffered_bytes > 0  # re-buffered, not lost
+        cluster.restore_broker(0)
+        producer.buffer("events", "recovered", partition=0)  # restarts the thread
+        clock.advance(61.0)
+        assert wait_until(lambda: cluster.end_offset("events", 0) == 2)
+        producer.close()
+
+
+class TestSinglePartitionOffsets:
+    def test_end_offset_matches_bulk_lookup(self):
+        cluster = make_cluster(partitions=3)
+        for p in range(3):
+            fill(cluster, "events", p, p + 1)
+        bulk = cluster.end_offsets("events")
+        for p in range(3):
+            assert cluster.end_offset("events", p) == bulk[p]
+
+    def test_beginning_offset_after_retention(self):
+        cluster = make_cluster(partitions=1)
+        fill(cluster, "events", 0, 5)
+        cluster.topic("events").partition(0).truncate_before(3)
+        cluster.run_retention("events")
+        assert cluster.beginning_offset("events", 0) == cluster.beginning_offsets(
+            "events"
+        )[0]
+
+    def test_end_offset_survives_broker_failure(self):
+        cluster = make_cluster(partitions=1, brokers=2, replication=2)
+        fill(cluster, "events", 0, 7)
+        leader = cluster.replication.assignment("events", 0).leader
+        cluster.fail_broker(leader)
+        assert cluster.end_offset("events", 0) == 7
+
+    def test_unknown_topic_raises(self):
+        cluster = make_cluster()
+        with pytest.raises(UnknownTopicError):
+            cluster.end_offset("missing", 0)
+
+
+class TestMirrorMakerBatched:
+    def make_clusters(self, partitions=2):
+        source = FabricCluster(num_brokers=2, name="us-east-1")
+        destination = FabricCluster(num_brokers=2, name="us-west-2")
+        source.create_topic(
+            "telemetry", TopicConfig(num_partitions=partitions)
+        )
+        return source, destination
+
+    def test_sync_appends_batches_with_provenance(self):
+        source, destination = self.make_clusters()
+        fill(source, "telemetry", 0, 5)
+        fill(source, "telemetry", 1, 5)
+        stats = MirrorMaker(source, destination).sync_topic("telemetry")
+        assert stats.records_mirrored == 10
+        assert stats.batches_appended == 2  # one batch per partition, not per record
+        record = destination.fetch("telemetry", 0, 3)[0]
+        assert record.record.headers["mirror.source.cluster"] == "us-east-1"
+        assert record.record.headers["mirror.source.offset"] == "3"
+        assert record.record.headers["mirror.batch.base_offset"] == "0"
+
+    def test_partition_drift_is_healed_before_sync(self):
+        """Regression: source grows partitions after the mirror exists."""
+        source, destination = self.make_clusters(partitions=2)
+        fill(source, "telemetry", 0, 2)
+        mirror = MirrorMaker(source, destination)
+        mirror.sync_topic("telemetry")
+        assert destination.topic("telemetry").num_partitions == 2
+        source.set_partitions("telemetry", 4)
+        fill(source, "telemetry", 3, 3)  # would previously crash on append
+        stats = mirror.sync_topic("telemetry")
+        assert destination.topic("telemetry").num_partitions == 4
+        assert stats.records_mirrored == 3
+        assert [r.value for r in destination.fetch("telemetry", 3, 0)] == [
+            "x" * 76
+        ] * 3
+
+    def test_session_survives_source_broker_failure(self):
+        source, destination = self.make_clusters()
+        fill(source, "telemetry", 0, 4)
+        mirror = MirrorMaker(source, destination)
+        mirror.sync_topic("telemetry")
+        leader = source.replication.assignment("telemetry", 0).leader
+        source.fail_broker(leader)
+        fill(source, "telemetry", 0, 3)
+        assert mirror.sync_topic("telemetry").records_mirrored == 3
+        assert sum(destination.end_offsets("telemetry").values()) == 7
+
+
+class TestBoundedMetrics:
+    def test_consumer_poll_latencies_are_bounded(self):
+        from repro.fabric.consumer import METRICS_WINDOW
+
+        cluster = make_cluster(partitions=1)
+        consumer = FabricConsumer(
+            cluster, ["events"], ConsumerConfig(enable_auto_commit=False)
+        )
+        assert consumer.metrics.poll_latencies.maxlen == METRICS_WINDOW
+        for _ in range(50):
+            consumer.poll(max_records=1)
+        assert len(consumer.metrics.poll_latencies) <= METRICS_WINDOW
+        consumer.close()
+
+    def test_producer_send_latencies_are_bounded(self):
+        from repro.fabric.producer import METRICS_WINDOW
+
+        cluster = make_cluster(partitions=1)
+        producer = FabricProducer(cluster)
+        assert producer.metrics.send_latencies.maxlen == METRICS_WINDOW
+        for i in range(20):
+            producer.send("events", i, partition=0)
+        assert len(producer.metrics.send_latencies) == 20
+        producer.close()
