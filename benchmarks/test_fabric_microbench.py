@@ -106,7 +106,7 @@ def test_batched_produce_beats_per_record_3x():
     throughput for 64-byte events (one metadata/ACL/leader/replication
     round per batch instead of per record)."""
     cluster = FabricCluster(num_brokers=2)
-    cluster.create_topic(
+    cluster.admin().create_topic(
         "bench-batching", TopicConfig(num_partitions=2, replication_factor=2)
     )
     per_record = _timed_throughput(
@@ -123,6 +123,43 @@ def test_batched_produce_beats_per_record_3x():
     assert batched >= 3 * per_record
 
 
+def test_commit_group_beats_per_partition_commits_2x():
+    """Batched group commits must deliver ≥ 2× the per-partition commit
+    round rate for a 16-partition group: one generation validation and one
+    offset-store lock acquisition per round instead of one of each per
+    partition (the pre-`commit_group` consumer protocol)."""
+    cluster = FabricCluster(num_brokers=2)
+    cluster.admin().create_topic("bench-commit", TopicConfig(num_partitions=16))
+    partitions = cluster.partitions_for("bench-commit")
+    member, generation, _ = cluster.groups.join(
+        "bench-commits", "bench", ["bench-commit"], partitions
+    )
+    store = cluster.offsets
+    rounds = 2000
+
+    def per_partition(n):
+        for i in range(n):
+            for topic, partition in partitions:
+                cluster.groups.validate_generation("bench-commits", member, generation)
+                store.commit("bench-commits", topic, partition, i + 1)
+
+    def grouped(n):
+        for i in range(n):
+            cluster.commit_group(
+                "bench-commits",
+                [(tp, i + 1) for tp in partitions],
+                generation=generation,
+                member_id=member,
+            )
+
+    per = _timed_throughput(per_partition, rounds)
+    batched = _timed_throughput(grouped, rounds)
+    print(f"\nPer-partition commits: {per:,.0f} rounds/s; "
+          f"commit_group: {batched:,.0f} rounds/s ({batched / per:.1f}x)")
+    assert store.group_offsets("bench-commits") == {tp: rounds for tp in partitions}
+    assert batched >= 2 * per
+
+
 def test_fetch_many_consume_beats_per_partition_2x():
     """The fetch-session data plane must deliver ≥ 2× the per-partition
     consume throughput when an assignment spans many partitions (one
@@ -130,7 +167,7 @@ def test_fetch_many_consume_beats_per_partition_2x():
     of each per partition)."""
     num_partitions, records_per_partition, rounds = 64, 4, 100
     cluster = FabricCluster(num_brokers=1)
-    cluster.create_topic(
+    cluster.admin().create_topic(
         "bench-fetch",
         TopicConfig(num_partitions=num_partitions, replication_factor=1),
     )
@@ -170,7 +207,7 @@ def test_fetch_many_consume_beats_per_partition_2x():
 
 def _mirror_source(num_partitions, records_per_partition):
     source = FabricCluster(num_brokers=1, name="bench-src")
-    source.create_topic(
+    source.admin().create_topic(
         "mirror-bench",
         TopicConfig(num_partitions=num_partitions, replication_factor=1),
     )
@@ -231,7 +268,7 @@ def test_batched_mirror_sync_beats_per_record_2x():
     def per_record_setup():
         source = _mirror_source(num_partitions, records_per_partition)
         destination = FabricCluster(num_brokers=1, name="bench-dst-a")
-        destination.create_topic(
+        destination.admin().create_topic(
             "mirror-bench",
             TopicConfig(num_partitions=num_partitions, replication_factor=1),
         )
@@ -242,7 +279,7 @@ def test_batched_mirror_sync_beats_per_record_2x():
         destination = FabricCluster(num_brokers=1, name="bench-dst-b")
         # Pre-create the destination topic, as the per-record arm does, so
         # neither timed window includes topic creation.
-        destination.create_topic(
+        destination.admin().create_topic(
             "mirror-bench",
             TopicConfig(num_partitions=num_partitions, replication_factor=1),
         )

@@ -23,7 +23,7 @@ def build_all_clusters():
         capacity = ClusterCapacityModel(spec).produce_capacity(
             event_size_bytes=1024, partitions=4
         )
-        built[name] = (cluster.describe(), spec.describe(), capacity)
+        built[name] = (cluster.admin().describe_cluster(), spec.describe(), capacity)
     return built
 
 

@@ -69,7 +69,7 @@ class DataAutomationPipeline:
     def add_site(self, name: str) -> SiteState:
         """Stand up the edge stack of one facility."""
         local_cluster = FabricCluster(num_brokers=1, name=f"{name}-local-kafka")
-        local_cluster.create_topic("fsmon-raw", TopicConfig(num_partitions=1))
+        local_cluster.admin().create_topic("fsmon-raw", TopicConfig(num_partitions=1))
         local_producer = FabricProducer(local_cluster)
         aggregator = LocalAggregator(
             interesting_types=("created",),

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 
 class Operation(str, Enum):
@@ -61,6 +61,25 @@ class AclStore:
         self._entries: Dict[Tuple[str, str], Set[Operation]] = {}
         self._lock = threading.RLock()
         self._group_resolver = group_resolver
+        self._invalidation_listeners: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------ #
+    def add_invalidation_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener()`` after every mutation (grant/revoke).
+
+        This is the invalidation hook the fabric's epoch-scoped ACL caching
+        needs: wiring :meth:`repro.fabric.cluster.FabricCluster.bump_auth_epoch`
+        here makes standing fetch sessions re-authorize their topics on the
+        first fetch after any ACL change, instead of on every fetch.
+        Registering the same listener twice is a no-op, so re-installing an
+        :meth:`as_authorizer` adapter does not stack duplicate bumps.
+        """
+        if listener not in self._invalidation_listeners:
+            self._invalidation_listeners.append(listener)
+
+    def _notify_invalidation(self) -> None:
+        for listener in self._invalidation_listeners:
+            listener()
 
     # ------------------------------------------------------------------ #
     def grant(
@@ -70,7 +89,9 @@ class AclStore:
         with self._lock:
             current = self._entries.setdefault((principal, topic), set())
             current.update(ops)
-            return AclEntry(principal, topic, frozenset(current))
+            entry = AclEntry(principal, topic, frozenset(current))
+        self._notify_invalidation()
+        return entry
 
     def grant_owner(self, principal: str, topic: str) -> AclEntry:
         """Grant the full owner set (READ, WRITE, DESCRIBE)."""
@@ -88,13 +109,19 @@ class AclStore:
                 return None
             if operations is None:
                 del self._entries[key]
-                return None
-            remaining = self._entries[key] - {Operation.parse(op) for op in operations}
-            if remaining:
-                self._entries[key] = remaining
-                return AclEntry(principal, topic, frozenset(remaining))
-            del self._entries[key]
-            return None
+                entry = None
+            else:
+                remaining = self._entries[key] - {
+                    Operation.parse(op) for op in operations
+                }
+                if remaining:
+                    self._entries[key] = remaining
+                    entry = AclEntry(principal, topic, frozenset(remaining))
+                else:
+                    del self._entries[key]
+                    entry = None
+        self._notify_invalidation()
+        return entry
 
     def revoke_topic(self, topic: str) -> int:
         """Remove every entry for a topic (topic deletion); returns count."""
@@ -102,7 +129,8 @@ class AclStore:
             keys = [k for k in self._entries if k[1] == topic]
             for key in keys:
                 del self._entries[key]
-            return len(keys)
+        self._notify_invalidation()
+        return len(keys)
 
     # ------------------------------------------------------------------ #
     def is_authorized(
@@ -146,8 +174,16 @@ class AclStore:
             }
 
     def as_authorizer(self):
-        """Adapter usable as :class:`repro.fabric.cluster.FabricCluster` authorizer."""
+        """Adapter usable as :class:`repro.fabric.cluster.FabricCluster` authorizer.
+
+        The returned callable carries this store's
+        :meth:`add_invalidation_listener` hook, so a cluster it is installed
+        on auto-wires its auth-epoch bump to ACL mutations — standing fetch
+        sessions then see grants/revocations on their next fetch without any
+        manual wiring at the call site.
+        """
         def authorize(principal: Optional[str], operation: str, topic: str) -> bool:
             return self.is_authorized(principal, operation, topic)
 
+        authorize.add_invalidation_listener = self.add_invalidation_listener
         return authorize

@@ -50,7 +50,7 @@ class BenchmarkOperator:
         replication_factor: int = 2,
     ) -> None:
         if not self.cluster.has_topic(name):
-            self.cluster.create_topic(
+            self.cluster.admin().create_topic(
                 name,
                 TopicConfig(num_partitions=partitions, replication_factor=replication_factor),
             )

@@ -87,7 +87,10 @@ class OctopusDeployment:
         )
         service = OctopusWebService(cluster, auth, iam, metadata, acls, triggers)
         if enforce_acls:
-            cluster.set_authorizer(service.authorize_data_access)
+            cluster.admin().set_authorizer(service.authorize_data_access)
+            # Grants/revocations through the ACL store must invalidate the
+            # fetch sessions' epoch-scoped authorization caches.
+            acls.add_invalidation_listener(cluster.bump_auth_epoch)
         return cls(
             cluster=cluster,
             zookeeper=zookeeper,

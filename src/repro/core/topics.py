@@ -28,6 +28,9 @@ class TopicService:
         acls: AclStore,
     ) -> None:
         self.cluster = cluster
+        # All fabric mutations go through the control-plane client; the
+        # cluster handle itself is only used for read-side introspection.
+        self.admin = cluster.admin()
         self.metadata = metadata
         self.acls = acls
 
@@ -51,7 +54,7 @@ class TopicService:
             return self.describe_topic(principal, topic)
         topic_config = self._parse_config(config)
         try:
-            self.cluster.create_topic(topic, topic_config)
+            self.admin.create_topic(topic, topic_config)
         except TopicAlreadyExistsError:
             # The fabric already has it (e.g. re-registration after metadata
             # loss); ownership is what matters, fall through.
@@ -65,7 +68,7 @@ class TopicService:
         """``DELETE /topic/<topic>``: remove the topic and all grants."""
         self._require_owner(principal, topic)
         if self.cluster.has_topic(topic):
-            self.cluster.delete_topic(topic)
+            self.admin.delete_topic(topic)
         self.metadata.unregister_topic(topic)
         self.acls.revoke_topic(topic)
         return {"topic": topic, "status": "deleted"}
@@ -94,7 +97,7 @@ class TopicService:
         if not updates:
             raise ValidationError("no configuration updates supplied")
         try:
-            config = self.cluster.update_topic_config(topic, **updates)
+            config = self.admin.update_topic_config(topic, **updates)
         except (TypeError, InvalidConfigError) as exc:
             raise ValidationError(str(exc)) from exc
         self.metadata.set_topic_config(topic, config.to_dict())
@@ -104,7 +107,7 @@ class TopicService:
         """``POST /topic/<topic>/partitions``."""
         self._require_owner(principal, topic)
         try:
-            config = self.cluster.set_partitions(topic, int(num_partitions))
+            config = self.admin.set_partitions(topic, int(num_partitions))
         except (ValueError, InvalidConfigError) as exc:
             raise ValidationError(str(exc)) from exc
         self.metadata.set_topic_config(topic, config.to_dict())

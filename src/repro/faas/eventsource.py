@@ -122,8 +122,22 @@ class EventSourceMapping:
         self._enabled = True
 
     def pending_events(self) -> int:
-        """Processing pressure: events published but not yet committed."""
+        """Processing pressure: events published but not yet committed.
+
+        Walks every partition's end offset on the cluster — accurate but
+        relatively expensive; the drain loop uses the consumer's cheaper
+        position-based :meth:`lag` instead.
+        """
         return self.cluster.total_lag(self.consumer_group, self.topic)
+
+    def lag(self) -> int:
+        """Events published but not yet *read* by this mapping's consumer.
+
+        Position-based: O(assigned partitions) single-partition end-offset
+        lookups, no committed-offset reads — the cheap signal the drain
+        loop polls between batches.
+        """
+        return self._consumer.lag()
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -144,7 +158,9 @@ class EventSourceMapping:
 
         Offsets are committed only after the function has been invoked for
         the batch, giving triggers the same at-least-once guarantee as
-        ordinary consumers.
+        ordinary consumers.  The commit rides the consumer's batched
+        :meth:`FabricCluster.commit_group` path: one generation check and
+        one offset-store lock for the whole assignment.
         """
         if not self._enabled:
             return []
@@ -177,15 +193,21 @@ class EventSourceMapping:
         return results
 
     def drain(self, max_polls: int = 10_000) -> List[InvocationResult]:
-        """Poll until the topic is exhausted (or ``max_polls`` is reached)."""
+        """Poll until the topic is exhausted (or ``max_polls`` is reached).
+
+        Driven by the consumer's position-based :meth:`lag` — one
+        single-partition end-offset lookup per assigned partition per
+        iteration — instead of :meth:`pending_events`, which re-reads
+        committed offsets across a full end-offsets walk between every
+        poll.
+        """
         results: List[InvocationResult] = []
+        if not self._enabled:
+            return results
         for _ in range(max_polls):
-            if self.pending_events() == 0:
+            if self.lag() == 0:
                 break
-            batch_results = self.poll_once()
-            results.extend(batch_results)
-            if not batch_results and self.pending_events() == 0:
-                break
+            results.extend(self.poll_once())
         return results
 
     def close(self) -> None:

@@ -7,8 +7,10 @@ applications exercise:
 
 * append-only partition logs with strictly increasing offsets,
 * topics composed of one or more partitions with a replication factor,
-* a cluster of brokers with a controller, leader election and in-sync
-  replica (ISR) tracking,
+* a cluster of brokers with leader election and in-sync replica (ISR)
+  tracking, plus an explicit admin (control-plane) client —
+  :class:`~repro.fabric.admin.FabricAdmin` — that owns topic/broker
+  administration, retention runs and authorizer wiring,
 * producers with configurable acknowledgements (``acks`` of ``0``, ``1``
   or ``"all"``), retries and batching,
 * consumers and consumer groups with partition assignment, rebalancing
@@ -21,6 +23,7 @@ from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
 from repro.fabric.partition import PartitionLog
 from repro.fabric.topic import Topic, TopicConfig
 from repro.fabric.broker import Broker
+from repro.fabric.admin import FabricAdmin
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.producer import FabricProducer, ProducerConfig
 from repro.fabric.consumer import FabricConsumer, ConsumerConfig
@@ -46,6 +49,7 @@ __all__ = [
     "Topic",
     "TopicConfig",
     "Broker",
+    "FabricAdmin",
     "FabricCluster",
     "FetchRequest",
     "FetchSession",

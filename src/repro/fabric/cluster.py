@@ -1,18 +1,29 @@
-"""The fabric cluster: brokers, controller, topic metadata and the data path.
+"""The fabric cluster: brokers, topic metadata and the data path.
 
 :class:`FabricCluster` is the stand-in for an MSK deployment (Table II of
-the paper): a set of brokers plus the controller logic that creates
-topics, places replicas, routes produces to partition leaders, serves
-fetches and coordinates consumer groups.  Per-topic authorization is
-delegated to an optional :class:`~repro.auth.acl.AclStore`-compatible
-authorizer, matching how MSK enforces IAM ACLs maintained through the
-Octopus Web Service.
+the paper): a set of brokers serving the client *data plane* — batched
+produces routed to partition leaders, multi-partition fetch sessions,
+offset lookups and batched group commits.  Control-plane operations
+(topic/broker administration, retention, authorizer wiring) live on
+:class:`~repro.fabric.admin.FabricAdmin`; the old ``FabricCluster``
+control methods remain as thin delegating shims that emit
+:class:`DeprecationWarning`.
+
+Per-topic authorization is delegated to an optional
+:class:`~repro.auth.acl.AclStore`-compatible authorizer, matching how MSK
+enforces IAM ACLs maintained through the Octopus Web Service.  Fetch
+sessions cache the outcome per topic, scoped to the cluster's *auth
+epoch*: installing a new authorizer (or mutating the backing ACL store)
+bumps the epoch, so a session authorizes each topic once per epoch rather
+than once per fetch and still sees revocations on its next call.
 """
 
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -21,6 +32,7 @@ from typing import (
     NamedTuple,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -30,15 +42,17 @@ from repro.fabric.errors import (
     AuthorizationError,
     BrokerUnavailableError,
     NotLeaderError,
-    TopicAlreadyExistsError,
     UnknownTopicError,
 )
 from repro.fabric.group import ConsumerGroupCoordinator, TopicPartition
-from repro.fabric.offsets import OffsetStore
+from repro.fabric.offsets import CommittedOffset, GroupOffsets, OffsetStore
 from repro.fabric.record import EventRecord, RecordMetadata, StoredRecord
 from repro.fabric.replication import PartitionAssignment, ReplicationManager
 from repro.fabric.retention import RetentionEnforcer
 from repro.fabric.topic import Topic, TopicConfig
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle otherwise)
+    from repro.fabric.admin import AdminAuthorizer, FabricAdmin
 
 #: Authorizer callback signature: (principal, operation, topic) -> bool.
 Authorizer = Callable[[Optional[str], str, str], bool]
@@ -92,6 +106,11 @@ class FetchSession:
         #: replica-table lock entirely.
         self._leaders: Dict[TopicPartition, Tuple[Broker, "object"]] = {}
         self._epoch = cluster.metadata_epoch
+        # Per-topic authorization outcomes, valid for one auth epoch: the
+        # session re-checks a topic only when the cluster's authorizer (or
+        # its backing ACL store) changes.
+        self._auth_epoch = cluster.auth_epoch
+        self._authorized_topics: Set[str] = set()
         # Assignment mode: a standing partition list whose (leader, log)
         # arrays are resolved once and reused verbatim every fetch.
         self._assignment: List[TopicPartition] = []
@@ -100,10 +119,16 @@ class FetchSession:
         self._assignment_logs: Optional[list] = None
 
     def invalidate(self) -> None:
-        """Drop every cached leader; the next fetch re-resolves from metadata."""
+        """Drop every cached leader; the next fetch re-resolves from metadata.
+
+        Cached topic authorizations are dropped too: metadata moves (topic
+        deletion in particular) must force the next fetch back through the
+        full authorize-and-resolve path.
+        """
         self._leaders.clear()
         self._assignment_brokers = None
         self._assignment_logs = None
+        self._authorized_topics.clear()
 
     def cached_leaders(self) -> Dict[TopicPartition, int]:
         """Snapshot of the cached leader broker id per partition (introspection)."""
@@ -229,6 +254,9 @@ class FabricCluster:
         self._placement_cursor = 0
         self._persistence_sinks: List[Callable[[str, int, StoredRecord], None]] = []
         self._metadata_epoch = 0
+        self._auth_epoch = 0
+        self._default_admin: Optional["FabricAdmin"] = None
+        self._wire_authorizer_invalidation(authorizer)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -254,40 +282,114 @@ class FabricCluster:
         """Monotonic counter bumped whenever leadership metadata may change.
 
         Fetch sessions compare their snapshot against this to decide when
-        cached leader resolutions must be discarded.
+        cached leader resolutions must be discarded.  Read without the
+        cluster lock: a torn read is impossible for a CPython int, and the
+        worst case of racing a bump is one extra invalidation.
         """
-        with self._lock:
-            return self._metadata_epoch
+        return self._metadata_epoch
 
     def _bump_metadata_epoch(self) -> None:
         with self._lock:
             self._metadata_epoch += 1
 
-    def set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
+    @property
+    def auth_epoch(self) -> int:
+        """Monotonic counter bumped whenever authorization state may change.
+
+        Fetch sessions cache per-topic authorization outcomes scoped to
+        this epoch; installing a new authorizer or mutating the backing
+        ACL store bumps it (see :meth:`bump_auth_epoch`), forcing every
+        session to re-authorize on its next fetch.  Lock-free read, like
+        :attr:`metadata_epoch`.
+        """
+        return self._auth_epoch
+
+    def bump_auth_epoch(self) -> None:
+        """Invalidate every session's cached per-topic authorization.
+
+        ACL stores call this (directly or via
+        :meth:`repro.auth.acl.AclStore.add_invalidation_listener`) whenever
+        a grant or revocation changes what the current authorizer would
+        answer.
+        """
+        with self._lock:
+            self._auth_epoch += 1
+
+    def _set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
+        """Install the data-plane authorizer (control plane: FabricAdmin)."""
         self._authorizer = authorizer or _allow_all
+        self._wire_authorizer_invalidation(authorizer)
+        self.bump_auth_epoch()
+
+    def _wire_authorizer_invalidation(self, authorizer: Optional[Authorizer]) -> None:
+        """Auto-subscribe to an authorizer's invalidation hook, if it has one.
+
+        Epoch-scoped ACL caching is only safe if mutations of the
+        authorizer's *backing state* bump the auth epoch.  Authorizers built
+        by :meth:`repro.auth.acl.AclStore.as_authorizer` expose the store's
+        ``add_invalidation_listener`` on the callable; wiring it here means
+        every way of installing one — constructor, ``FabricAdmin`` — keeps
+        revocations enforced on standing sessions with no call-site wiring.
+        """
+        hook = getattr(authorizer, "add_invalidation_listener", None)
+        if callable(hook):
+            hook(self.bump_auth_epoch)
+
+    # ------------------------------------------------------------------ #
+    # Control-plane access
+    # ------------------------------------------------------------------ #
+    def admin(
+        self,
+        *,
+        principal: Optional[str] = None,
+        authorizer: Optional["AdminAuthorizer"] = None,
+    ) -> "FabricAdmin":
+        """An administrative (control-plane) client for this cluster.
+
+        With no arguments the same allow-all default admin is returned on
+        every call; passing ``principal``/``authorizer`` builds a dedicated
+        admin whose operations all flow through that authorizer.
+        """
+        from repro.fabric.admin import FabricAdmin
+
+        if principal is None and authorizer is None:
+            with self._lock:
+                if self._default_admin is None:
+                    self._default_admin = FabricAdmin(self)
+                return self._default_admin
+        return FabricAdmin(self, principal=principal, authorizer=authorizer)
+
+    def _deprecated_control_call(self, name: str, replacement: str) -> "FabricAdmin":
+        warnings.warn(
+            f"FabricCluster.{name}() is deprecated; use FabricAdmin.{replacement}() "
+            "(e.g. cluster.admin()) instead — control-plane operations moved to "
+            "repro.fabric.admin.FabricAdmin",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return self.admin()
+
+    # ------------------------------------------------------------------ #
+    # Deprecated control-plane shims (see FabricAdmin)
+    # ------------------------------------------------------------------ #
+    def set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
+        """Deprecated: use :meth:`FabricAdmin.set_authorizer`."""
+        self._deprecated_control_call("set_authorizer", "set_authorizer").set_authorizer(
+            authorizer
+        )
 
     def add_persistence_sink(
         self, sink: Callable[[str, int, StoredRecord], None]
     ) -> None:
-        """Register a callback invoked for every record on persistent topics.
-
-        This models the red "persistence to reliable cloud storage" arrow in
-        Figure 2 of the paper; :mod:`repro.services.storage` provides an
-        S3-like sink.
-        """
-        self._persistence_sinks.append(sink)
+        """Deprecated: use :meth:`FabricAdmin.add_persistence_sink`."""
+        self._deprecated_control_call(
+            "add_persistence_sink", "add_persistence_sink"
+        ).add_persistence_sink(sink)
 
     def describe(self) -> dict:
-        with self._lock:
-            return {
-                "name": self.name,
-                "brokers": [b.describe() for b in self._brokers.values()],
-                "topics": sorted(self._topics),
-            }
+        """Deprecated: use :meth:`FabricAdmin.describe_cluster`."""
+        return self._deprecated_control_call("describe", "describe_cluster").describe_cluster()
 
-    # ------------------------------------------------------------------ #
-    # Topic management (controller)
-    # ------------------------------------------------------------------ #
     def create_topic(
         self,
         name: str,
@@ -295,33 +397,50 @@ class FabricCluster:
         *,
         principal: Optional[str] = None,
     ) -> Topic:
-        """Create a topic and place its partition replicas on brokers."""
-        config = config or TopicConfig()
-        config.validate()
-        with self._lock:
-            if name in self._topics:
-                raise TopicAlreadyExistsError(f"topic {name!r} already exists")
-            if config.replication_factor > len(self._brokers):
-                config = config.with_updates(replication_factor=len(self._brokers))
-            topic = Topic(name=name, config=config)
-            self._topics[name] = topic
-            for partition in range(config.num_partitions):
-                self._place_partition(topic, partition)
-            return topic
+        """Deprecated: use :meth:`FabricAdmin.create_topic`."""
+        return self._deprecated_control_call("create_topic", "create_topic").create_topic(
+            name, config
+        )
 
     def delete_topic(self, name: str, *, principal: Optional[str] = None) -> None:
-        # Administrative operation: ownership checks happen in the control
-        # plane (OWS TopicService); the data-plane authorizer is not consulted.
-        with self._lock:
-            topic = self._topics.pop(name, None)
-            if topic is None:
-                raise UnknownTopicError(f"topic {name!r} does not exist")
-            for broker in self._brokers.values():
-                for partition in range(topic.num_partitions):
-                    broker.drop_replica(name, partition)
-            self._replication.unregister_topic(name)
-        self._bump_metadata_epoch()
+        """Deprecated: use :meth:`FabricAdmin.delete_topic`."""
+        self._deprecated_control_call("delete_topic", "delete_topic").delete_topic(name)
 
+    def update_topic_config(self, name: str, **updates) -> TopicConfig:
+        """Deprecated: use :meth:`FabricAdmin.update_topic_config`."""
+        return self._deprecated_control_call(
+            "update_topic_config", "update_topic_config"
+        ).update_topic_config(name, **updates)
+
+    def set_partitions(self, name: str, num_partitions: int) -> TopicConfig:
+        """Deprecated: use :meth:`FabricAdmin.set_partitions`."""
+        return self._deprecated_control_call(
+            "set_partitions", "set_partitions"
+        ).set_partitions(name, num_partitions)
+
+    def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
+        """Deprecated: use :meth:`FabricAdmin.fail_broker`."""
+        return self._deprecated_control_call("fail_broker", "fail_broker").fail_broker(
+            broker_id
+        )
+
+    def restore_broker(self, broker_id: int) -> None:
+        """Deprecated: use :meth:`FabricAdmin.restore_broker`."""
+        self._deprecated_control_call(
+            "restore_broker", "restore_broker"
+        ).restore_broker(broker_id)
+
+    def run_retention(
+        self, topic_name: Optional[str] = None
+    ) -> Dict[str, Dict[int, int]]:
+        """Deprecated: use :meth:`FabricAdmin.run_retention`."""
+        return self._deprecated_control_call(
+            "run_retention", "run_retention"
+        ).run_retention(topic_name)
+
+    # ------------------------------------------------------------------ #
+    # Topic metadata (read-only; the control plane mutates via FabricAdmin)
+    # ------------------------------------------------------------------ #
     def topic(self, name: str) -> Topic:
         with self._lock:
             try:
@@ -337,39 +456,6 @@ class FabricCluster:
         with self._lock:
             return sorted(self._topics)
 
-    def update_topic_config(self, name: str, **updates) -> TopicConfig:
-        """Apply config updates; new partitions get replica placements."""
-        with self._lock:
-            topic = self.topic(name)
-            before = topic.num_partitions
-            config = topic.update_config(**updates)
-            for partition in range(before, topic.num_partitions):
-                self._place_partition(topic, partition)
-            return config
-
-    def set_partitions(self, name: str, num_partitions: int) -> TopicConfig:
-        """``POST /topic/<topic>/partitions`` — grow the partition count."""
-        return self.update_topic_config(name, num_partitions=num_partitions)
-
-    def _place_partition(self, topic: Topic, partition: int) -> PartitionAssignment:
-        """Round-robin replica placement across brokers, leader = first replica."""
-        broker_ids = sorted(self._brokers)
-        rf = min(topic.config.replication_factor, len(broker_ids))
-        start = self._placement_cursor
-        self._placement_cursor += 1
-        replicas = [broker_ids[(start + i) % len(broker_ids)] for i in range(rf)]
-        for broker_id in replicas:
-            self._brokers[broker_id].create_replica(
-                topic.name,
-                partition,
-                max_message_bytes=topic.config.max_message_bytes,
-            )
-        assignment = PartitionAssignment(
-            topic=topic.name, partition=partition, replicas=replicas, leader=replicas[0]
-        )
-        self._replication.register(assignment)
-        return assignment
-
     # ------------------------------------------------------------------ #
     # Authorization
     # ------------------------------------------------------------------ #
@@ -378,6 +464,25 @@ class FabricCluster:
             raise AuthorizationError(
                 f"principal {principal!r} is not authorized to {operation} topic {topic!r}"
             )
+
+    def _session_authorize(self, session: "FetchSession", topics: Iterable[str]) -> None:
+        """Authorize a session's topics, cached for the current auth epoch.
+
+        A topic is checked (READ permission + existence) at most once per
+        auth epoch per session; :meth:`bump_auth_epoch` — called on
+        authorizer installation and ACL mutation — drops the cache, so a
+        revocation is enforced on the session's very next fetch.
+        """
+        epoch = self._auth_epoch
+        if session._auth_epoch != epoch:
+            session._authorized_topics.clear()
+            session._auth_epoch = epoch
+        authorized = session._authorized_topics
+        for topic in topics:
+            if topic not in authorized:
+                self._authorize(session.principal, "READ", topic)
+                self.topic(topic)  # raises UnknownTopicError
+                authorized.add(topic)
 
     # ------------------------------------------------------------------ #
     # Data path: produce
@@ -548,16 +653,16 @@ class FabricCluster:
         out: Dict[TopicPartition, List[StoredRecord]] = {}
         if not requests:
             return out
-        seen_topics = set()
-        for request in requests:
-            if request.topic not in seen_topics:
-                seen_topics.add(request.topic)
-                self._authorize(session.principal, "READ", request.topic)
-                self.topic(request.topic)  # raises UnknownTopicError
+        # Metadata first: a moved epoch (topic deletion, failover) must
+        # clear the cached authorizations before they are consulted.
         epoch = self.metadata_epoch
         if session._epoch != epoch:
             session.invalidate()
             session._epoch = epoch
+        seen_topics = set()
+        for request in requests:
+            seen_topics.add(request.topic)
+        self._session_authorize(session, seen_topics)
         # Resolve (leader, log) via the session cache: a dict hit per
         # partition on the hot path, full metadata resolution on a miss.
         # A cached-but-offline leader is caught by the broker's own online
@@ -652,10 +757,10 @@ class FabricCluster:
         out: Dict[TopicPartition, List[StoredRecord]] = {}
         if n == 0:
             return out
-        for topic in session._assignment_topics:
-            self._authorize(session.principal, "READ", topic)
-            self.topic(topic)  # raises UnknownTopicError
         epoch = self.metadata_epoch
+        if session._epoch != epoch:
+            session.invalidate()
+        self._session_authorize(session, session._assignment_topics)
         if session._epoch != epoch or session._assignment_brokers is None:
             session._epoch = epoch
             session._leaders.clear()
@@ -728,23 +833,26 @@ class FabricCluster:
                             budget -= used
         return out
 
+    def _online_leader_log(self, assignment: PartitionAssignment):
+        """The live leader's log for an assignment, electing if the registered
+        leader is offline; ``None`` when no replica is online at all."""
+        leader = self._brokers[assignment.leader]
+        if not leader.online:
+            elected = self._replication.elect_leader(
+                assignment.topic, assignment.partition
+            )
+            if elected is None:
+                return None
+            leader = self._brokers[elected]
+        return leader.replica(assignment.topic, assignment.partition)
+
     def end_offsets(self, topic_name: str) -> Dict[int, int]:
         """Log-end offsets per partition, read from the current leaders."""
         self.topic(topic_name)
         out: Dict[int, int] = {}
         for assignment in self._replication.assignments_for_topic(topic_name):
-            leader = self._brokers[assignment.leader]
-            if not leader.online:
-                elected = self._replication.elect_leader(
-                    topic_name, assignment.partition
-                )
-                if elected is None:
-                    out[assignment.partition] = 0
-                    continue
-                leader = self._brokers[elected]
-            out[assignment.partition] = leader.replica(
-                topic_name, assignment.partition
-            ).log_end_offset
+            log = self._online_leader_log(assignment)
+            out[assignment.partition] = log.log_end_offset if log is not None else 0
         return out
 
     def beginning_offsets(self, topic_name: str) -> Dict[int, int]:
@@ -784,45 +892,56 @@ class FabricCluster:
         return [(topic_name, index) for index in range(topic.num_partitions)]
 
     def total_lag(self, group_id: str, topic_name: str) -> int:
-        """Aggregate consumer lag of a group over a topic (processing pressure)."""
+        """Aggregate consumer lag of a group over a topic (processing pressure).
+
+        One walk over the topic's assignments reads each partition's end
+        *and* beginning offset from the same leader log, and lag is clamped
+        against the beginning offset so retention-truncated records are not
+        reported as phantom backlog.
+        """
+        self.topic(topic_name)
         lag = 0
-        for partition, end in self.end_offsets(topic_name).items():
-            lag += self._offsets.lag(group_id, topic_name, partition, end)
+        for assignment in self._replication.assignments_for_topic(topic_name):
+            log = self._online_leader_log(assignment)
+            if log is None:
+                continue  # no online replica: nothing fetchable to lag on
+            lag += self._offsets.lag(
+                group_id,
+                topic_name,
+                assignment.partition,
+                log.log_end_offset,
+                beginning_offset=log.log_start_offset,
+            )
         return lag
 
     # ------------------------------------------------------------------ #
-    # Failure injection and maintenance
+    # Offset commits
     # ------------------------------------------------------------------ #
-    def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
-        """Crash a broker and re-elect leaders for its partitions."""
-        self._brokers[broker_id].shutdown()
-        self._bump_metadata_epoch()
-        return self._replication.handle_broker_failure(broker_id)
+    def commit_group(
+        self,
+        group_id: str,
+        offsets: GroupOffsets,
+        *,
+        generation: Optional[int] = None,
+        member_id: Optional[str] = None,
+        metadata: str = "",
+    ) -> Dict[TopicPartition, CommittedOffset]:
+        """Commit a whole group's offsets in one batched round.
 
-    def restore_broker(self, broker_id: int) -> None:
-        """Bring a broker back; followers re-sync on the next replication pass."""
-        self._brokers[broker_id].restart()
-        self._bump_metadata_epoch()
-        for assignment in self._replication.all_assignments():
-            if broker_id in assignment.replicas:
-                self._replication.replicate_from_leader(
-                    assignment.topic, assignment.partition
-                )
+        The group generation is validated once for the batch (when
+        ``generation`` is given — ``member_id`` must identify the
+        committing member) and the offsets are installed under a single
+        :class:`~repro.fabric.offsets.OffsetStore` lock acquisition — the
+        group-commit mirror of :meth:`append_batch`/:meth:`fetch_many`.
+        The batch is atomic: a stale generation or an invalid offset
+        anywhere in it commits nothing.
 
-    def run_retention(self, topic_name: Optional[str] = None) -> Dict[str, Dict[int, int]]:
-        """Run retention/compaction on one topic or every topic."""
-        with self._lock:
-            names = [topic_name] if topic_name else list(self._topics)
-        removed: Dict[str, Dict[int, int]] = {}
-        for name in names:
-            removed[name] = self._retention.enforce(self.topic(name))
-            # Propagate truncation to broker replicas so fetches agree.
-            for assignment in self._replication.assignments_for_topic(name):
-                canonical = self.topic(name).partition(assignment.partition)
-                for broker_id in assignment.replicas:
-                    broker = self._brokers[broker_id]
-                    if broker.online and broker.has_replica(name, assignment.partition):
-                        broker.replica(name, assignment.partition).truncate_before(
-                            canonical.log_start_offset
-                        )
-        return removed
+        Raises :class:`~repro.fabric.errors.IllegalGenerationError` on a
+        stale generation or unknown member.
+        """
+        if generation is not None:
+            if member_id is None:
+                raise ValueError("member_id is required when generation is given")
+            self._groups.validate_generation(group_id, member_id, generation)
+        return self._offsets.commit_many(group_id, offsets, metadata=metadata)
+

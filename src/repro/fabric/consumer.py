@@ -339,20 +339,24 @@ class FabricConsumer:
         return out
 
     def commit(self, offsets: Optional[Dict[TopicPartition, int]] = None) -> None:
-        """Commit current positions (or explicit ``offsets``) for the group."""
+        """Commit current positions (or explicit ``offsets``) for the group.
+
+        The whole assignment travels through
+        :meth:`FabricCluster.commit_group`: one generation validation and
+        one offset-store lock acquisition per commit, not per partition.
+        """
         self._ensure_open()
         with self._lock:
             to_commit = dict(offsets) if offsets is not None else dict(self._positions)
         try:
-            self._cluster.groups.validate_generation(
-                self.config.group_id, self._member_id, self._generation
+            self._cluster.commit_group(
+                self.config.group_id,
+                to_commit,
+                generation=self._generation,
+                member_id=self._member_id,
             )
         except IllegalGenerationError as exc:
             raise CommitFailedError(str(exc)) from exc
-        for (topic, partition), offset in to_commit.items():
-            self._cluster.offsets.commit(
-                self.config.group_id, topic, partition, offset
-            )
         self.metrics.commits += 1
 
     def committed(self, topic: str, partition: int) -> Optional[int]:

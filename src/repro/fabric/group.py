@@ -167,6 +167,11 @@ class ConsumerGroupCoordinator:
             group = self._groups.get(group_id)
             return sorted(group.members) if group else []
 
+    def group_ids(self) -> List[str]:
+        """Every group the coordinator knows (admin introspection)."""
+        with self._lock:
+            return sorted(self._groups)
+
     def describe(self, group_id: str) -> dict:
         with self._lock:
             group = self._groups.get(group_id)

@@ -70,12 +70,13 @@ class MirrorMaker:
         """
         name = self.mirrored_name(topic)
         source_partitions = self.source.topic(topic).num_partitions
+        admin = self.destination.admin()
         if not self.destination.has_topic(name):
             source_config = self.source.topic(topic).config
             config = TopicConfig.from_dict(source_config.to_dict())
-            self.destination.create_topic(name, config)
+            admin.create_topic(name, config)
         elif self.destination.topic(name).num_partitions < source_partitions:
-            self.destination.set_partitions(name, source_partitions)
+            admin.set_partitions(name, source_partitions)
         return name
 
     def _fetch_session(self) -> FetchSession:

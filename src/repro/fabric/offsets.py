@@ -4,18 +4,26 @@ Offset commits are what give Octopus its at-least-once delivery guarantee
 (Section IV-F): a consumer that crashes after processing but before
 committing will re-read the uncommitted records when it (or another group
 member) takes over the partition.
+
+Commits are stored indexed per group, so group-scoped operations
+(:meth:`OffsetStore.group_offsets`, :meth:`OffsetStore.reset_group`,
+:meth:`OffsetStore.commit_many`) touch only that group's partitions
+instead of scanning every group's keys.  :meth:`OffsetStore.commit_many`
+is the batched group-commit primitive: a whole assignment's offsets are
+validated up front and installed under a single lock acquisition, the
+storage half of :meth:`repro.fabric.cluster.FabricCluster.commit_group`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Mapping, NamedTuple, Optional, Tuple, Union
+
+TopicPartition = Tuple[str, int]
 
 
-@dataclass(frozen=True)
-class CommittedOffset:
+class CommittedOffset(NamedTuple):
     """A single committed position for (group, topic, partition)."""
 
     offset: int
@@ -23,11 +31,22 @@ class CommittedOffset:
     commit_time: float = 0.0
 
 
+#: Shapes accepted by :meth:`OffsetStore.commit_many`: a mapping of
+#: ``(topic, partition) -> offset`` or an iterable of such pairs.
+GroupOffsets = Union[
+    Mapping[TopicPartition, int],
+    Iterable[Tuple[TopicPartition, int]],
+]
+
+
 class OffsetStore:
-    """Thread-safe store of committed offsets, keyed by consumer group."""
+    """Thread-safe store of committed offsets, indexed by consumer group."""
 
     def __init__(self) -> None:
-        self._offsets: Dict[Tuple[str, str, int], CommittedOffset] = {}
+        #: group_id -> {(topic, partition) -> CommittedOffset}.  The
+        #: per-group index keeps group-scoped reads/writes O(partitions of
+        #: that group) rather than O(all commits in the store).
+        self._groups: Dict[str, Dict[TopicPartition, CommittedOffset]] = {}
         self._lock = threading.RLock()
 
     def commit(
@@ -43,46 +62,96 @@ class OffsetStore:
             raise ValueError("committed offset must be >= 0")
         committed = CommittedOffset(offset=offset, metadata=metadata, commit_time=time.time())
         with self._lock:
-            self._offsets[(group_id, topic, partition)] = committed
+            self._groups.setdefault(group_id, {})[(topic, partition)] = committed
         return committed
+
+    def commit_many(
+        self,
+        group_id: str,
+        offsets: GroupOffsets,
+        metadata: str = "",
+    ) -> Dict[TopicPartition, CommittedOffset]:
+        """Commit a whole group's offsets under one lock acquisition.
+
+        The batch is atomic: every offset is validated before any is
+        written, so a negative offset anywhere in the batch leaves the
+        store untouched.  All entries share one commit timestamp.
+        """
+        items = offsets.items() if isinstance(offsets, Mapping) else offsets
+        now = time.time()
+        # Build (and thereby validate) every entry before touching the
+        # store: a bad offset anywhere must leave no partial commit, and
+        # entry construction costs nothing under the lock this way.
+        out: Dict[TopicPartition, CommittedOffset] = {}
+        for tp, offset in items:
+            if offset < 0:
+                raise ValueError(
+                    f"committed offset must be >= 0 (got {offset} for {tp[0]}-{tp[1]})"
+                )
+            out[tp] = CommittedOffset(offset, metadata, now)
+        with self._lock:
+            group = self._groups.get(group_id)
+            if group is None:
+                group = self._groups[group_id] = {}
+            group.update(out)
+        return out
 
     def committed(self, group_id: str, topic: str, partition: int) -> Optional[int]:
         """Last committed offset, or ``None`` if the group never committed."""
         with self._lock:
-            entry = self._offsets.get((group_id, topic, partition))
+            group = self._groups.get(group_id)
+            if group is None:
+                return None
+            entry = group.get((topic, partition))
             return entry.offset if entry is not None else None
 
     def committed_entry(
         self, group_id: str, topic: str, partition: int
     ) -> Optional[CommittedOffset]:
         with self._lock:
-            return self._offsets.get((group_id, topic, partition))
+            group = self._groups.get(group_id)
+            return group.get((topic, partition)) if group is not None else None
 
-    def group_offsets(self, group_id: str) -> Dict[Tuple[str, int], int]:
+    def group_offsets(self, group_id: str) -> Dict[TopicPartition, int]:
         """All committed offsets for a group, keyed by (topic, partition)."""
         with self._lock:
-            return {
-                (topic, partition): entry.offset
-                for (gid, topic, partition), entry in self._offsets.items()
-                if gid == group_id
-            }
+            group = self._groups.get(group_id, {})
+            return {tp: entry.offset for tp, entry in group.items()}
 
     def reset_group(self, group_id: str, topic: Optional[str] = None) -> int:
         """Delete commits for a group (optionally only one topic); return count."""
         with self._lock:
-            keys = [
-                key
-                for key in self._offsets
-                if key[0] == group_id and (topic is None or key[1] == topic)
-            ]
-            for key in keys:
-                del self._offsets[key]
+            group = self._groups.get(group_id)
+            if group is None:
+                return 0
+            if topic is None:
+                del self._groups[group_id]
+                return len(group)
+            keys = [tp for tp in group if tp[0] == topic]
+            for tp in keys:
+                del group[tp]
+            if not group:
+                del self._groups[group_id]
             return len(keys)
 
     def lag(
-        self, group_id: str, topic: str, partition: int, log_end_offset: int
+        self,
+        group_id: str,
+        topic: str,
+        partition: int,
+        log_end_offset: int,
+        beginning_offset: int = 0,
     ) -> int:
-        """Consumer lag: records appended but not yet committed by the group."""
+        """Consumer lag: records appended but not yet committed by the group.
+
+        The group's position is clamped against ``beginning_offset``: a
+        group that never committed starts at the log's beginning (not 0),
+        and a commit that retention has since truncated past cannot make
+        the group look further behind than the oldest record that still
+        exists.  Without the clamp, a retention-truncated topic reports
+        phantom lag that no amount of consuming can drain.
+        """
         committed = self.committed(group_id, topic, partition)
-        position = committed if committed is not None else 0
+        position = committed if committed is not None else beginning_offset
+        position = max(position, beginning_offset)
         return max(0, log_end_offset - position)

@@ -113,6 +113,7 @@ class FabricProducer:
         self._pending: Dict[tuple[str, int], RecordBatch] = {}
         self._sealed: List[RecordBatch] = []
         self._partition_counts: Dict[str, tuple[int, float]] = {}
+        self._metadata_epoch = cluster.metadata_epoch
         self._buffered_bytes = 0
         self._closed = False
         self._delivery_stop = threading.Event()
@@ -348,7 +349,15 @@ class FabricProducer:
         after ``metadata_max_age_seconds`` so keyed/round-robin records see
         partition growth, and refreshed eagerly when an explicit partition
         lies outside the cached range — partition counts only ever grow.
+        The cache is additionally scoped to the cluster's metadata epoch:
+        an admin growing the topic (``FabricAdmin.set_partitions``) bumps
+        the epoch, so records route to the new partitions immediately
+        rather than after the max-age window.
         """
+        epoch = self._cluster.metadata_epoch
+        if epoch != self._metadata_epoch:
+            self._partition_counts.clear()
+            self._metadata_epoch = epoch
         now = time.time()
         cached = self._partition_counts.get(topic)
         if cached is None or now - cached[1] >= self.config.metadata_max_age_seconds:

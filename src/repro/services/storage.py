@@ -88,7 +88,7 @@ class ObjectStore:
 
     # ------------------------------------------------------------------ #
     def persistence_sink(self, bucket: str = "octopus-events"):
-        """Adapter for :meth:`repro.fabric.cluster.FabricCluster.add_persistence_sink`."""
+        """Adapter for :meth:`repro.fabric.admin.FabricAdmin.add_persistence_sink`."""
         self.create_bucket(bucket)
 
         def sink(topic: str, partition: int, record: StoredRecord) -> None:

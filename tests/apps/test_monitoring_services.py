@@ -225,8 +225,8 @@ class TestObjectStore:
 
         store = ObjectStore()
         cluster = FabricCluster(num_brokers=1)
-        cluster.add_persistence_sink(store.persistence_sink("events"))
-        cluster.create_topic("t", TopicConfig(persist_to_store=True))
+        cluster.admin().add_persistence_sink(store.persistence_sink("events"))
+        cluster.admin().create_topic("t", TopicConfig(persist_to_store=True))
         cluster.append("t", 0, EventRecord(value={"x": 1}))
         keys = store.list("events")
         assert len(keys) == 1

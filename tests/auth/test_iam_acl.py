@@ -169,7 +169,7 @@ class TestAclStore:
         acl = AclStore()
         acl.grant_owner("alice", "t")
         cluster = FabricCluster(num_brokers=1, authorizer=acl.as_authorizer())
-        cluster.create_topic("t")
+        cluster.admin().create_topic("t")
         cluster.append("t", 0, EventRecord(value=1), principal="alice")
         with pytest.raises(AuthorizationError):
             cluster.append("t", 0, EventRecord(value=1), principal="bob")

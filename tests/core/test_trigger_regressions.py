@@ -14,7 +14,7 @@ from repro.fabric import FabricCluster, FabricProducer, TopicConfig
 @pytest.fixture
 def manager():
     cluster = FabricCluster(num_brokers=1)
-    cluster.create_topic("t", TopicConfig(num_partitions=2, replication_factor=1))
+    cluster.admin().create_topic("t", TopicConfig(num_partitions=2, replication_factor=1))
     manager = TriggerManager(
         cluster, ClusterMetadataRegistry(ZooKeeperEnsemble()), IamService()
     )

@@ -160,7 +160,7 @@ class TestExecutor:
 @pytest.fixture
 def cluster():
     cluster = FabricCluster(num_brokers=2)
-    cluster.create_topic("fs-events", TopicConfig(num_partitions=4))
+    cluster.admin().create_topic("fs-events", TopicConfig(num_partitions=4))
     return cluster
 
 
@@ -236,6 +236,34 @@ class TestEventSourceMapping:
             producer.send("fs-events", {"i": i})
         mapping.drain()
         assert len(seen) == 55
+
+    def test_drain_is_driven_by_consumer_lag_not_pending_events(self, cluster, monkeypatch):
+        """The drain loop must use the cheap position-based lag() signal,
+        never the full committed-offset pending_events() walk."""
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster,
+            lambda event, ctx: seen.extend(event["records"]),
+            EventSourceConfig(batch_size=10),
+        )
+        producer = FabricProducer(cluster)
+        for i in range(25):
+            producer.send("fs-events", {"i": i})
+
+        def boom():  # pragma: no cover - should never run
+            raise AssertionError("drain called pending_events()")
+
+        monkeypatch.setattr(mapping, "pending_events", boom)
+        mapping.drain()
+        assert len(seen) == 25
+        assert mapping.lag() == 0
+
+    def test_drain_on_disabled_mapping_returns_immediately(self, cluster):
+        mapping, executor = self.make_mapping(cluster, lambda e, c: None)
+        FabricProducer(cluster).send("fs-events", {"x": 1})
+        mapping.disable()
+        assert mapping.drain() == []
+        assert executor.stats.invocations == 0
 
     def test_prefetching_mapping_drains_backlog_exactly_once(self, cluster):
         seen = []

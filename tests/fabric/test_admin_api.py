@@ -1,0 +1,343 @@
+"""Tests for the admin/data-plane API split.
+
+Covers the three surfaces of the redesign: :class:`FabricAdmin` as the
+single control plane (with the deprecated ``FabricCluster`` shims
+delegating to it), the batched group-commit path
+(:meth:`OffsetStore.commit_many` / :meth:`FabricCluster.commit_group`),
+and epoch-scoped ACL caching on fetch sessions.
+"""
+
+import warnings
+
+import pytest
+
+from repro.auth.acl import AclStore
+from repro.fabric.admin import FabricAdmin
+from repro.fabric.cluster import FabricCluster, FetchRequest
+from repro.fabric.consumer import ConsumerConfig, FabricConsumer
+from repro.fabric.errors import (
+    AuthorizationError,
+    IllegalGenerationError,
+    CommitFailedError,
+    UnknownTopicError,
+)
+from repro.fabric.offsets import OffsetStore
+from repro.fabric.producer import FabricProducer, ProducerConfig
+from repro.fabric.record import EventRecord
+from repro.fabric.topic import TopicConfig
+
+
+@pytest.fixture
+def cluster() -> FabricCluster:
+    return FabricCluster(num_brokers=2)
+
+
+def fill(cluster, topic, partition, count):
+    cluster.append_batch(
+        topic, partition, [EventRecord(value=i) for i in range(count)]
+    )
+
+
+class TestAdminOwnsControlPlane:
+    def test_admin_factory_returns_shared_default(self, cluster):
+        assert cluster.admin() is cluster.admin()
+        scoped = cluster.admin(principal="alice")
+        assert scoped is not cluster.admin()
+        assert scoped.principal == "alice"
+
+    def test_create_and_delete_topic(self, cluster):
+        admin = cluster.admin()
+        admin.create_topic("a", TopicConfig(num_partitions=2))
+        assert cluster.topics() == ["a"]
+        admin.delete_topic("a")
+        assert cluster.topics() == []
+        with pytest.raises(UnknownTopicError):
+            admin.delete_topic("a")
+
+    def test_partition_growth_bumps_metadata_epoch(self, cluster):
+        admin = cluster.admin()
+        admin.create_topic("a", TopicConfig(num_partitions=1))
+        before = cluster.metadata_epoch
+        admin.set_partitions("a", 4)
+        assert cluster.metadata_epoch > before
+        # Non-partition config updates leave the epoch alone.
+        epoch = cluster.metadata_epoch
+        admin.update_topic_config("a", retention_seconds=60.0)
+        assert cluster.metadata_epoch == epoch
+
+    def test_producer_sees_partition_growth_immediately(self, cluster):
+        admin = cluster.admin()
+        admin.create_topic("a", TopicConfig(num_partitions=1))
+        producer = FabricProducer(
+            cluster, ProducerConfig(metadata_max_age_seconds=3600.0)
+        )
+        producer.send("a", "warm the metadata cache")
+        admin.set_partitions("a", 4)
+        # Despite the huge metadata max-age, the epoch bump reroutes now.
+        md = producer.send("a", "explicit", partition=3)
+        assert md.partition == 3
+
+    def test_admin_authorizer_is_the_single_path(self, cluster):
+        calls = []
+
+        def authorizer(principal, operation, resource):
+            calls.append((principal, operation, resource))
+            return operation != "FAIL_BROKER"
+
+        admin = cluster.admin(principal="ops", authorizer=authorizer)
+        admin.create_topic("a")
+        admin.run_retention("a")
+        with pytest.raises(AuthorizationError):
+            admin.fail_broker(0)
+        assert cluster.brokers[0].online  # denied op had no effect
+        assert calls == [
+            ("ops", "CREATE_TOPIC", "topic:a"),
+            ("ops", "RUN_RETENTION", "topic:a"),
+            ("ops", "FAIL_BROKER", "broker:0"),
+        ]
+
+    def test_introspection(self, cluster):
+        admin = cluster.admin()
+        admin.create_topic("a", TopicConfig(num_partitions=2))
+        description = admin.describe_cluster()
+        assert description["topics"] == ["a"]
+        assert admin.list_topics() == ["a"]
+        assert admin.describe_topic("a")["config"]["num_partitions"] == 2
+        FabricConsumer(cluster, ["a"], ConsumerConfig(group_id="g1"))
+        assert admin.list_groups() == ["g1"]
+        assert admin.describe_group("g1")["generation"] == 1
+
+
+class TestDeprecatedShims:
+    """Every old control method still works, warns, and delegates."""
+
+    def test_create_topic_shim_delegates_and_warns(self, cluster):
+        with pytest.warns(DeprecationWarning, match="FabricAdmin.create_topic"):
+            cluster.create_topic("a", TopicConfig(num_partitions=3))
+        assert cluster.topic("a").num_partitions == 3
+
+    def test_all_shims_warn(self, cluster):
+        admin = cluster.admin()
+        admin.create_topic("a")
+        shim_calls = [
+            ("delete_topic", ("a",)),
+            ("set_authorizer", (None,)),
+            ("add_persistence_sink", (lambda t, p, r: None,)),
+            ("describe", ()),
+            ("update_topic_config", ("missing-is-fine",)),
+            ("set_partitions", ("missing-is-fine", 2)),
+            ("fail_broker", (1,)),
+            ("restore_broker", (1,)),
+            ("run_retention", ()),
+        ]
+        for name, args in shim_calls:
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                try:
+                    getattr(cluster, name)(*args)
+                except UnknownTopicError:
+                    pass  # delegation happened; the topic simply doesn't exist
+
+    def test_shim_parity_with_admin(self, cluster):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = cluster.describe()
+        assert via_shim == cluster.admin().describe_cluster()
+
+
+class TestCommitMany:
+    def test_commit_many_single_timestamp_and_readback(self):
+        store = OffsetStore()
+        offsets = {("t", p): p * 10 for p in range(16)}
+        entries = store.commit_many("g", offsets)
+        assert len(entries) == 16
+        assert len({e.commit_time for e in entries.values()}) == 1
+        assert store.group_offsets("g") == offsets
+
+    def test_commit_many_is_atomic_on_invalid_offset(self):
+        store = OffsetStore()
+        store.commit("g", "t", 0, 5)
+        with pytest.raises(ValueError):
+            store.commit_many("g", {("t", 0): 7, ("t", 1): -1})
+        # Nothing in the failed batch landed — not even the valid entry.
+        assert store.group_offsets("g") == {("t", 0): 5}
+
+    def test_group_index_isolates_groups(self):
+        store = OffsetStore()
+        store.commit_many("g1", {("t", 0): 1, ("u", 0): 2})
+        store.commit_many("g2", {("t", 0): 9})
+        assert store.reset_group("g1", topic="t") == 1
+        assert store.group_offsets("g1") == {("u", 0): 2}
+        assert store.group_offsets("g2") == {("t", 0): 9}
+        assert store.reset_group("g1") == 1
+        assert store.group_offsets("g1") == {}
+
+    def test_lag_clamps_against_beginning_offset(self):
+        store = OffsetStore()
+        # Never-committed group on a truncated log: position starts at the
+        # beginning offset, not 0 — no phantom lag for purged records.
+        assert store.lag("g", "t", 0, log_end_offset=10, beginning_offset=8) == 2
+        # A commit below the beginning offset (truncated past it) clamps up.
+        store.commit("g", "t", 0, 3)
+        assert store.lag("g", "t", 0, log_end_offset=10, beginning_offset=8) == 2
+        # A commit ahead of the beginning is respected as-is.
+        store.commit("g", "t", 0, 9)
+        assert store.lag("g", "t", 0, log_end_offset=10, beginning_offset=8) == 1
+
+
+class TestCommitGroup:
+    def test_commit_group_commits_whole_assignment(self, cluster):
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=16))
+        offsets = {("t", p): p + 1 for p in range(16)}
+        cluster.commit_group("g", offsets)
+        assert cluster.offsets.group_offsets("g") == offsets
+
+    def test_generation_requires_member_id(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.commit_group("g", {("t", 0): 1}, generation=1)
+
+    def test_stale_generation_rejected_across_rebalance(self, cluster):
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=4))
+        partitions = cluster.partitions_for("t")
+        member, generation, _ = cluster.groups.join("g", "c1", ["t"], partitions)
+        cluster.commit_group(
+            "g", {("t", 0): 1}, generation=generation, member_id=member
+        )
+        cluster.groups.join("g", "c2", ["t"], partitions)  # rebalance
+        with pytest.raises(IllegalGenerationError):
+            cluster.commit_group(
+                "g", {("t", 0): 2, ("t", 1): 2}, generation=generation, member_id=member
+            )
+        # The stale batch committed nothing at all.
+        assert cluster.offsets.group_offsets("g") == {("t", 0): 1}
+
+    def test_consumer_commit_rides_commit_group(self, cluster):
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=4))
+        for p in range(4):
+            fill(cluster, "t", p, 3)
+        consumer = FabricConsumer(
+            cluster, ["t"], ConsumerConfig(group_id="g", enable_auto_commit=False)
+        )
+        while consumer.poll_flat():
+            pass
+        consumer.commit()
+        assert cluster.offsets.group_offsets("g") == {("t", p): 3 for p in range(4)}
+        # A second member rebalances the group; the stale member's commit
+        # must surface as CommitFailedError (batched path included).
+        FabricConsumer(
+            cluster, ["t"], ConsumerConfig(group_id="g", enable_auto_commit=False)
+        )
+        with pytest.raises(CommitFailedError):
+            consumer.commit({("t", 0): 0})
+        assert cluster.offsets.committed("g", "t", 0) == 3
+
+
+class TestAclEpochCaching:
+    def test_session_authorizes_once_per_epoch(self, cluster):
+        calls = []
+
+        def authorizer(principal, operation, topic):
+            calls.append((principal, operation, topic))
+            return True
+
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=2))
+        fill(cluster, "t", 0, 4)
+        fill(cluster, "t", 1, 4)
+        cluster.admin().set_authorizer(authorizer)
+        session = cluster.fetch_session(principal="alice")
+        requests = [FetchRequest("t", p, 0) for p in range(2)]
+        for _ in range(5):
+            session.fetch(requests)
+        assert calls == [("alice", "READ", "t")]  # once, not once per fetch
+        cluster.bump_auth_epoch()
+        session.fetch(requests)
+        assert calls == [("alice", "READ", "t")] * 2
+
+    def test_assignment_mode_authorizes_once_per_epoch(self, cluster):
+        calls = []
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=2))
+        fill(cluster, "t", 0, 4)
+        cluster.admin().set_authorizer(lambda *a: calls.append(a) or True)
+        session = cluster.fetch_session(principal="alice")
+        session.set_assignment([("t", 0), ("t", 1)])
+        positions = {("t", 0): 0, ("t", 1): 0}
+        for _ in range(5):
+            session.fetch_assignment(positions)
+        assert len(calls) == 1
+
+    def test_revocation_enforced_on_next_fetch(self, cluster):
+        cluster.admin().create_topic("t")
+        fill(cluster, "t", 0, 3)
+        cluster.admin().set_authorizer(lambda principal, op, topic: True)
+        session = cluster.fetch_session(principal="mallory")
+        assert session.fetch([FetchRequest("t", 0, 0)])
+        # Revoke: installing the new authorizer bumps the auth epoch, so
+        # the session's cached authorization must not survive.
+        cluster.admin().set_authorizer(lambda principal, op, topic: False)
+        with pytest.raises(AuthorizationError):
+            session.fetch([FetchRequest("t", 0, 0)])
+
+    def test_acl_store_mutation_invalidates_sessions(self, cluster):
+        acls = AclStore()
+        acls.grant("alice", "t", ["READ"])
+        cluster.admin().create_topic("t")
+        fill(cluster, "t", 0, 3)
+        cluster.admin().set_authorizer(acls.as_authorizer())
+        acls.add_invalidation_listener(cluster.bump_auth_epoch)
+        session = cluster.fetch_session(principal="alice")
+        assert session.fetch([FetchRequest("t", 0, 0)])
+        acls.revoke("alice", "t")  # listener bumps the auth epoch
+        with pytest.raises(AuthorizationError):
+            session.fetch([FetchRequest("t", 0, 0)])
+        acls.grant("alice", "t", ["READ"])  # re-grant restores access
+        assert session.fetch([FetchRequest("t", 0, 0)])
+
+    def test_constructor_wired_acl_store_auto_invalidates(self):
+        """Regression: an AclStore adapter passed to the FabricCluster
+        constructor (no OctopusDeployment, no manual listener wiring) must
+        still invalidate standing sessions on revocation — otherwise the
+        epoch cache would let a revoked principal keep reading forever."""
+        acls = AclStore()
+        acls.grant("alice", "t", ["READ", "WRITE"])
+        cluster = FabricCluster(num_brokers=2, authorizer=acls.as_authorizer())
+        cluster.admin().create_topic("t")
+        cluster.append_batch(
+            "t", 0, [EventRecord(value=i) for i in range(3)], principal="alice"
+        )
+        session = cluster.fetch_session(principal="alice")
+        assert session.fetch([FetchRequest("t", 0, 0)])
+        acls.revoke("alice", "t", ["READ"])
+        with pytest.raises(AuthorizationError):
+            session.fetch([FetchRequest("t", 0, 0)])
+
+    def test_admin_installed_acl_store_auto_invalidates(self, cluster):
+        """Same auto-wiring through FabricAdmin.set_authorizer, without an
+        explicit add_invalidation_listener call."""
+        acls = AclStore()
+        acls.grant("alice", "t", ["READ"])
+        cluster.admin().create_topic("t")
+        fill(cluster, "t", 0, 3)
+        cluster.admin().set_authorizer(acls.as_authorizer())
+        session = cluster.fetch_session(principal="alice")
+        assert session.fetch([FetchRequest("t", 0, 0)])
+        acls.revoke("alice", "t")
+        with pytest.raises(AuthorizationError):
+            session.fetch([FetchRequest("t", 0, 0)])
+
+    def test_topic_deletion_not_masked_by_auth_cache(self, cluster):
+        cluster.admin().create_topic("t")
+        fill(cluster, "t", 0, 2)
+        session = cluster.fetch_session()
+        assert session.fetch([FetchRequest("t", 0, 0)])
+        cluster.admin().delete_topic("t")
+        with pytest.raises(UnknownTopicError):
+            session.fetch([FetchRequest("t", 0, 0)])
+
+
+class TestLagClampIntegration:
+    def test_total_lag_ignores_retention_truncated_records(self, cluster):
+        cluster.admin().create_topic("t", TopicConfig(retention_seconds=0.0))
+        fill(cluster, "t", 0, 5)
+        # Never-committed group, whole log truncated: no phantom backlog.
+        cluster.admin().run_retention("t")
+        assert cluster.beginning_offsets("t")[0] == 5
+        assert cluster.total_lag("g", "t") == 0

@@ -24,7 +24,7 @@ from repro.fabric.record import EventRecord
 @pytest.fixture
 def cluster():
     cluster = FabricCluster(num_brokers=2)
-    cluster.create_topic("events", TopicConfig(num_partitions=4, replication_factor=2))
+    cluster.admin().create_topic("events", TopicConfig(num_partitions=4, replication_factor=2))
     return cluster
 
 
@@ -44,7 +44,7 @@ class TestClusterAppendBatch:
 
     def test_oversize_record_rejects_whole_batch(self):
         cluster = FabricCluster(num_brokers=1)
-        cluster.create_topic(
+        cluster.admin().create_topic(
             "small", TopicConfig(num_partitions=1, replication_factor=1,
                                  max_message_bytes=128)
         )
@@ -68,12 +68,12 @@ class TestClusterAppendBatch:
 
     def test_persistence_sink_sees_every_record_once(self):
         cluster = FabricCluster(num_brokers=1)
-        cluster.create_topic(
+        cluster.admin().create_topic(
             "durable", TopicConfig(num_partitions=1, replication_factor=1,
                                    persist_to_store=True)
         )
         seen = []
-        cluster.add_persistence_sink(lambda t, p, stored: seen.append(stored.offset))
+        cluster.admin().add_persistence_sink(lambda t, p, stored: seen.append(stored.offset))
         cluster.append_batch("durable", 0, [EventRecord(value=i) for i in range(6)])
         assert seen == list(range(6))
 
@@ -91,7 +91,7 @@ def test_append_batch_equivalent_to_sequential_append(payloads, acks):
     offsets and replica state on every broker, under every acks mode."""
     def build():
         cluster = FabricCluster(num_brokers=3)
-        cluster.create_topic(
+        cluster.admin().create_topic(
             "t", TopicConfig(num_partitions=1, replication_factor=3)
         )
         return cluster
@@ -236,7 +236,7 @@ class TestConcurrentProducers:
             cluster, ProducerConfig(metadata_max_age_seconds=0.0)
         )
         producer.send("events", "warm")
-        cluster.set_partitions("events", 8)
+        cluster.admin().set_partitions("events", 8)
         # With an expired metadata cache, unkeyed round-robin covers the
         # grown partition set.
         partitions = {producer.send("events", i).partition for i in range(16)}

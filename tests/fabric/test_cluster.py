@@ -21,34 +21,34 @@ def cluster() -> FabricCluster:
 
 class TestTopicManagement:
     def test_create_and_list_topics(self, cluster):
-        cluster.create_topic("a")
-        cluster.create_topic("b", TopicConfig(num_partitions=3))
+        cluster.admin().create_topic("a")
+        cluster.admin().create_topic("b", TopicConfig(num_partitions=3))
         assert cluster.topics() == ["a", "b"]
         assert cluster.topic("b").num_partitions == 3
 
     def test_duplicate_topic_rejected(self, cluster):
-        cluster.create_topic("a")
+        cluster.admin().create_topic("a")
         with pytest.raises(TopicAlreadyExistsError):
-            cluster.create_topic("a")
+            cluster.admin().create_topic("a")
 
     def test_unknown_topic_raises(self, cluster):
         with pytest.raises(UnknownTopicError):
             cluster.topic("missing")
 
     def test_replication_factor_capped_at_broker_count(self, cluster):
-        topic = cluster.create_topic("a", TopicConfig(replication_factor=5))
+        topic = cluster.admin().create_topic("a", TopicConfig(replication_factor=5))
         assert topic.config.replication_factor == 2
 
     def test_delete_topic_removes_replicas(self, cluster):
-        cluster.create_topic("a", TopicConfig(num_partitions=2))
-        cluster.delete_topic("a")
+        cluster.admin().create_topic("a", TopicConfig(num_partitions=2))
+        cluster.admin().delete_topic("a")
         assert "a" not in cluster.topics()
         for broker in cluster.brokers.values():
             assert not broker.has_replica("a", 0)
 
     def test_set_partitions_places_new_replicas(self, cluster):
-        cluster.create_topic("a", TopicConfig(num_partitions=1))
-        cluster.set_partitions("a", 4)
+        cluster.admin().create_topic("a", TopicConfig(num_partitions=1))
+        cluster.admin().set_partitions("a", 4)
         assert cluster.topic("a").num_partitions == 4
         assert len(cluster.partitions_for("a")) == 4
         # New partitions must be producible immediately.
@@ -56,7 +56,7 @@ class TestTopicManagement:
 
     def test_replica_placement_spreads_across_brokers(self):
         cluster = FabricCluster(num_brokers=4)
-        cluster.create_topic("a", TopicConfig(num_partitions=8, replication_factor=2))
+        cluster.admin().create_topic("a", TopicConfig(num_partitions=8, replication_factor=2))
         leaders = {
             a.leader for a in cluster.replication.assignments_for_topic("a")
         }
@@ -65,21 +65,21 @@ class TestTopicManagement:
 
 class TestProduceFetch:
     def test_append_returns_metadata_with_offset(self, cluster):
-        cluster.create_topic("t")
+        cluster.admin().create_topic("t")
         md0 = cluster.append("t", 0, EventRecord(value="a"))
         md1 = cluster.append("t", 0, EventRecord(value="b"))
         assert (md0.offset, md1.offset) == (0, 1)
         assert md0.topic == "t"
 
     def test_fetch_returns_appended_records_in_order(self, cluster):
-        cluster.create_topic("t")
+        cluster.admin().create_topic("t")
         for i in range(5):
             cluster.append("t", 0, EventRecord(value=i))
         values = [r.value for r in cluster.fetch("t", 0, 0)]
         assert values == [0, 1, 2, 3, 4]
 
     def test_end_and_beginning_offsets(self, cluster):
-        cluster.create_topic("t", TopicConfig(num_partitions=2))
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=2))
         cluster.append("t", 0, EventRecord(value=1))
         cluster.append("t", 1, EventRecord(value=2))
         cluster.append("t", 1, EventRecord(value=3))
@@ -87,14 +87,14 @@ class TestProduceFetch:
         assert cluster.beginning_offsets("t") == {0: 0, 1: 0}
 
     def test_acks_all_succeeds_with_full_isr(self, cluster):
-        cluster.create_topic(
+        cluster.admin().create_topic(
             "t", TopicConfig(replication_factor=2, min_insync_replicas=2)
         )
         md = cluster.append("t", 0, EventRecord(value="x"), acks="all")
         assert md.offset == 0
 
     def test_acks_all_fails_when_isr_below_minimum(self, cluster):
-        cluster.create_topic(
+        cluster.admin().create_topic(
             "t", TopicConfig(replication_factor=2, min_insync_replicas=2)
         )
         assignment = cluster.replication.assignment("t", 0)
@@ -104,7 +104,7 @@ class TestProduceFetch:
             cluster.append("t", 0, EventRecord(value="x"), acks="all")
 
     def test_records_are_replicated_to_followers(self, cluster):
-        cluster.create_topic("t", TopicConfig(replication_factor=2))
+        cluster.admin().create_topic("t", TopicConfig(replication_factor=2))
         for i in range(5):
             cluster.append("t", 0, EventRecord(value=i))
         assignment = cluster.replication.assignment("t", 0)
@@ -115,11 +115,11 @@ class TestProduceFetch:
 
 class TestFailover:
     def test_leader_failure_elects_new_leader_and_keeps_data(self, cluster):
-        cluster.create_topic("t", TopicConfig(replication_factor=2))
+        cluster.admin().create_topic("t", TopicConfig(replication_factor=2))
         for i in range(10):
             cluster.append("t", 0, EventRecord(value=i))
         old_leader = cluster.replication.assignment("t", 0).leader
-        cluster.fail_broker(old_leader)
+        cluster.admin().fail_broker(old_leader)
         new_leader = cluster.replication.assignment("t", 0).leader
         assert new_leader != old_leader
         # Reads and writes keep working, previously acked data survives.
@@ -129,26 +129,26 @@ class TestFailover:
         assert values == list(range(10)) + ["post-failover"]
 
     def test_all_replicas_down_raises(self, cluster):
-        cluster.create_topic("t", TopicConfig(replication_factor=2))
-        cluster.fail_broker(0)
-        cluster.fail_broker(1)
+        cluster.admin().create_topic("t", TopicConfig(replication_factor=2))
+        cluster.admin().fail_broker(0)
+        cluster.admin().fail_broker(1)
         with pytest.raises(BrokerUnavailableError):
             cluster.append("t", 0, EventRecord(value="x"))
 
     def test_restored_broker_resyncs_missing_records(self, cluster):
-        cluster.create_topic("t", TopicConfig(replication_factor=2))
+        cluster.admin().create_topic("t", TopicConfig(replication_factor=2))
         assignment = cluster.replication.assignment("t", 0)
         follower = [b for b in assignment.replicas if b != assignment.leader][0]
-        cluster.fail_broker(follower)
+        cluster.admin().fail_broker(follower)
         for i in range(5):
             cluster.append("t", 0, EventRecord(value=i))
-        cluster.restore_broker(follower)
+        cluster.admin().restore_broker(follower)
         assert cluster.brokers[follower].replica("t", 0).log_end_offset == 5
 
     def test_failover_updates_isr(self, cluster):
-        cluster.create_topic("t", TopicConfig(replication_factor=2))
+        cluster.admin().create_topic("t", TopicConfig(replication_factor=2))
         leader = cluster.replication.assignment("t", 0).leader
-        cluster.fail_broker(leader)
+        cluster.admin().fail_broker(leader)
         cluster.append("t", 0, EventRecord(value="x"))
         isr = cluster.replication.assignment("t", 0).isr
         assert leader not in isr
@@ -160,7 +160,7 @@ class TestAuthorization:
             return principal != "bob"
 
         cluster = FabricCluster(num_brokers=2, authorizer=deny_bob)
-        cluster.create_topic("t")
+        cluster.admin().create_topic("t")
         cluster.append("t", 0, EventRecord(value=1), principal="alice")
         with pytest.raises(AuthorizationError):
             cluster.append("t", 0, EventRecord(value=2), principal="bob")
@@ -170,18 +170,18 @@ class TestAuthorization:
 
 class TestRetentionIntegration:
     def test_run_retention_truncates_brokers_too(self, cluster):
-        cluster.create_topic("t", TopicConfig(retention_seconds=0.0))
+        cluster.admin().create_topic("t", TopicConfig(retention_seconds=0.0))
         for i in range(5):
             cluster.append("t", 0, EventRecord(value=i))
-        removed = cluster.run_retention("t")
+        removed = cluster.admin().run_retention("t")
         assert removed["t"][0] == 5
         assert cluster.fetch("t", 0, cluster.beginning_offsets("t")[0]) == []
 
     def test_persistence_sink_receives_records(self, cluster):
         seen = []
-        cluster.add_persistence_sink(lambda t, p, r: seen.append((t, p, r.offset)))
-        cluster.create_topic("p", TopicConfig(persist_to_store=True))
-        cluster.create_topic("np", TopicConfig(persist_to_store=False))
+        cluster.admin().add_persistence_sink(lambda t, p, r: seen.append((t, p, r.offset)))
+        cluster.admin().create_topic("p", TopicConfig(persist_to_store=True))
+        cluster.admin().create_topic("np", TopicConfig(persist_to_store=False))
         cluster.append("p", 0, EventRecord(value=1))
         cluster.append("np", 0, EventRecord(value=2))
         assert seen == [("p", 0, 0)]
@@ -189,7 +189,7 @@ class TestRetentionIntegration:
 
 class TestLag:
     def test_total_lag_counts_uncommitted_records(self, cluster):
-        cluster.create_topic("t", TopicConfig(num_partitions=2))
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=2))
         for i in range(6):
             cluster.append("t", i % 2, EventRecord(value=i))
         assert cluster.total_lag("triggers", "t") == 6

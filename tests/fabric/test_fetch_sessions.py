@@ -25,7 +25,7 @@ from repro.fabric.topic import TopicConfig
 
 def make_cluster(partitions=4, brokers=2, topic="events", replication=2):
     cluster = FabricCluster(num_brokers=brokers)
-    cluster.create_topic(
+    cluster.admin().create_topic(
         topic,
         TopicConfig(num_partitions=partitions, replication_factor=replication),
     )
@@ -75,7 +75,7 @@ class TestFetchMany:
 
     def test_spans_multiple_topics(self):
         cluster = make_cluster(partitions=2)
-        cluster.create_topic("health", TopicConfig(num_partitions=1))
+        cluster.admin().create_topic("health", TopicConfig(num_partitions=1))
         fill(cluster, "events", 0, 3)
         fill(cluster, "health", 0, 2)
         batches = cluster.fetch_many(
@@ -132,7 +132,7 @@ class TestFetchMany:
             return True
 
         cluster = make_cluster(partitions=8)
-        cluster.set_authorizer(authorizer)
+        cluster.admin().set_authorizer(authorizer)
         for p in range(8):
             fill(cluster, "events", p, 2)
         calls.clear()
@@ -144,7 +144,7 @@ class TestFetchMany:
     def test_unauthorized_principal_is_rejected(self):
         cluster = make_cluster()
         fill(cluster, "events", 0, 1)
-        cluster.set_authorizer(lambda principal, op, topic: principal == "alice")
+        cluster.admin().set_authorizer(lambda principal, op, topic: principal == "alice")
         with pytest.raises(AuthorizationError):
             cluster.fetch_many([FetchRequest("events", 0, 0)], principal="mallory")
 
@@ -191,7 +191,7 @@ class TestFetchSessionFailover:
         before = session.fetch(requests)
         assert sum(len(r) for r in before.values()) == 20
         victim = next(iter(session.cached_leaders().values()))
-        cluster.fail_broker(victim)
+        cluster.admin().fail_broker(victim)
         after = session.fetch(requests)
         assert sum(len(r) for r in after.values()) == 20
         assert all(b != victim for b in session.cached_leaders().values())
@@ -204,9 +204,9 @@ class TestFetchSessionFailover:
         requests = [FetchRequest("events", p, 0) for p in range(2)]
         session.fetch(requests)
         victim = next(iter(session.cached_leaders().values()))
-        cluster.fail_broker(victim)
+        cluster.admin().fail_broker(victim)
         session.fetch(requests)  # fail over to the surviving broker
-        cluster.restore_broker(victim)
+        cluster.admin().restore_broker(victim)
         # The metadata epoch moved on restore, so the session re-resolves
         # instead of trusting brokers cached before the failure.
         epoch = cluster.metadata_epoch
@@ -371,13 +371,13 @@ class TestPrefetch:
             ConsumerConfig(enable_auto_commit=False, prefetch=True),
         )
         consumer._prefetch_once()  # buffers all 10 records
-        cluster.set_authorizer(lambda principal, op, topic: op != "READ")
+        cluster.admin().set_authorizer(lambda principal, op, topic: op != "READ")
         with pytest.raises(AuthorizationError):
             consumer.poll()
         assert consumer.position("events", 0) == 0
         assert consumer.position("events", 1) == 0
         assert sum(len(v) for v in consumer._prefetched.values()) == 10
-        cluster.set_authorizer(None)
+        cluster.admin().set_authorizer(None)
         got = {}
         deadline = time.monotonic() + 10.0
         while sum(len(v) for v in got.values()) < 10:
@@ -453,17 +453,17 @@ class TestProducerBackgroundDelivery:
         from repro.fabric.errors import FabricError
 
         cluster = FabricCluster(num_brokers=1)
-        cluster.create_topic("events", TopicConfig(num_partitions=1, replication_factor=1))
+        cluster.admin().create_topic("events", TopicConfig(num_partitions=1, replication_factor=1))
         clock = ManualClock(start=0.0)
         producer = FabricProducer(
             cluster, ProducerConfig(linger_seconds=60.0, retries=0), clock=clock
         )
         producer.buffer("events", "stuck", partition=0)  # frozen clock: no auto-flush
-        cluster.fail_broker(0)
+        cluster.admin().fail_broker(0)
         with pytest.raises(FabricError):
             producer.close()
         assert producer.buffered_bytes > 0  # re-buffered, not lost
-        cluster.restore_broker(0)
+        cluster.admin().restore_broker(0)
         producer.buffer("events", "recovered", partition=0)  # restarts the thread
         clock.advance(61.0)
         assert wait_until(lambda: cluster.end_offset("events", 0) == 2)
@@ -483,7 +483,7 @@ class TestSinglePartitionOffsets:
         cluster = make_cluster(partitions=1)
         fill(cluster, "events", 0, 5)
         cluster.topic("events").partition(0).truncate_before(3)
-        cluster.run_retention("events")
+        cluster.admin().run_retention("events")
         assert cluster.beginning_offset("events", 0) == cluster.beginning_offsets(
             "events"
         )[0]
@@ -492,7 +492,7 @@ class TestSinglePartitionOffsets:
         cluster = make_cluster(partitions=1, brokers=2, replication=2)
         fill(cluster, "events", 0, 7)
         leader = cluster.replication.assignment("events", 0).leader
-        cluster.fail_broker(leader)
+        cluster.admin().fail_broker(leader)
         assert cluster.end_offset("events", 0) == 7
 
     def test_unknown_topic_raises(self):
@@ -505,7 +505,7 @@ class TestMirrorMakerBatched:
     def make_clusters(self, partitions=2):
         source = FabricCluster(num_brokers=2, name="us-east-1")
         destination = FabricCluster(num_brokers=2, name="us-west-2")
-        source.create_topic(
+        source.admin().create_topic(
             "telemetry", TopicConfig(num_partitions=partitions)
         )
         return source, destination
@@ -529,7 +529,7 @@ class TestMirrorMakerBatched:
         mirror = MirrorMaker(source, destination)
         mirror.sync_topic("telemetry")
         assert destination.topic("telemetry").num_partitions == 2
-        source.set_partitions("telemetry", 4)
+        source.admin().set_partitions("telemetry", 4)
         fill(source, "telemetry", 3, 3)  # would previously crash on append
         stats = mirror.sync_topic("telemetry")
         assert destination.topic("telemetry").num_partitions == 4
@@ -544,7 +544,7 @@ class TestMirrorMakerBatched:
         mirror = MirrorMaker(source, destination)
         mirror.sync_topic("telemetry")
         leader = source.replication.assignment("telemetry", 0).leader
-        source.fail_broker(leader)
+        source.admin().fail_broker(leader)
         fill(source, "telemetry", 0, 3)
         assert mirror.sync_topic("telemetry").records_mirrored == 3
         assert sum(destination.end_offsets("telemetry").values()) == 7

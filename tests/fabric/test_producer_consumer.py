@@ -17,7 +17,7 @@ from repro.fabric.partitioner import Partitioner, hash_key
 @pytest.fixture
 def cluster():
     cluster = FabricCluster(num_brokers=2)
-    cluster.create_topic("events", TopicConfig(num_partitions=4, replication_factor=2))
+    cluster.admin().create_topic("events", TopicConfig(num_partitions=4, replication_factor=2))
     return cluster
 
 

@@ -95,7 +95,7 @@ class TestMirrorMaker:
     def make_clusters(self):
         source = FabricCluster(num_brokers=2, name="us-east-1")
         destination = FabricCluster(num_brokers=2, name="us-west-2")
-        source.create_topic("telemetry", TopicConfig(num_partitions=2))
+        source.admin().create_topic("telemetry", TopicConfig(num_partitions=2))
         return source, destination
 
     def test_sync_copies_records_and_creates_topic(self):
@@ -141,7 +141,7 @@ class TestMirrorMaker:
 
     def test_sync_all_topics(self):
         source, destination = self.make_clusters()
-        source.create_topic("health")
+        source.admin().create_topic("health")
         source.append("health", 0, EventRecord(value="ok"))
         stats = MirrorMaker(source, destination).sync()
         assert set(stats) == {"telemetry", "health"}

@@ -72,7 +72,7 @@ class TestEndToEndEventFlow:
 
     def test_persistence_sink_archives_topic_events(self, deployment):
         store = ObjectStore()
-        deployment.cluster.add_persistence_sink(store.persistence_sink("archive"))
+        deployment.cluster.admin().add_persistence_sink(store.persistence_sink("archive"))
         user = deployment.client("archivist", "anl.gov")
         user.register_topic("persisted", {"persist_to_store": True})
         producer = user.producer()
@@ -101,7 +101,7 @@ class TestFailureInjection:
         producer = user.producer()
         for index in range(10):
             producer.send("durable", {"index": index})
-        deployment.cluster.fail_broker(0)
+        deployment.cluster.admin().fail_broker(0)
         for index in range(10, 20):
             producer.send("durable", {"index": index})
         values = [v["index"] for v in user.read_all("durable")]
@@ -159,6 +159,6 @@ class TestFailureInjection:
     def test_zookeeper_remains_source_of_truth_after_broker_failure(self, deployment):
         user = deployment.client("owner", "anl.gov")
         user.register_topic("metadata-check")
-        deployment.cluster.fail_broker(1)
+        deployment.cluster.admin().fail_broker(1)
         assert deployment.metadata.topic_owner("metadata-check") == "owner@anl.gov"
         assert "metadata-check" in user.list_topics()
