@@ -11,8 +11,7 @@ notifying them directly.
 from __future__ import annotations
 
 import math
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.octopus import OctopusDeployment

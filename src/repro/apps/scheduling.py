@@ -9,7 +9,7 @@ trade-off (the GreenFaaS-style scheduler the paper cites).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.sdk import OctopusClient
@@ -63,9 +63,14 @@ class EnergyAwareScheduler:
         self.power_weight = power_weight
         self.models: Dict[str, ResourceModel] = {}
         self.placements: List[dict] = []
+        # One consumer group per telemetry topic: schedulers watching
+        # different topics must not share a group, or a scheduler that
+        # stops polling would hold the other's cooperative rebalance open.
         self._consumer = client.consumer(
             [topic],
-            ConsumerConfig(group_id="faas-scheduler", auto_offset_reset="earliest"),
+            ConsumerConfig(
+                group_id=f"faas-scheduler-{topic}", auto_offset_reset="earliest"
+            ),
         )
 
     # ------------------------------------------------------------------ #

@@ -16,8 +16,8 @@ the timing relationships that produce Figure 8's shape.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.simulation.kernel import SimulationKernel
 

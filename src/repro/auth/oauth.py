@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.auth.identity import Identity, IdentityStore
+from repro.auth.identity import IdentityStore
 
 
 class AuthError(Exception):

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.auth.iam import AccessKey, IamService, PolicyStatement
+from repro.auth.iam import IamService, PolicyStatement
 from repro.coordination.metadata import ClusterMetadataRegistry
 
 

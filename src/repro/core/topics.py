@@ -4,6 +4,14 @@ Implements the topic half of the OWS API (Section IV-B): registering a
 topic creates it on the fabric cluster, records its ownership in the
 ZooKeeper-backed metadata registry, and grants the owner READ, WRITE and
 DESCRIBE; owners can then re-configure, grow, share or release the topic.
+
+Ownership is enforced *inside* the fabric control plane: every mutation
+travels through a per-principal :class:`~repro.fabric.admin.FabricAdmin`
+whose ``(principal, operation, resource)`` authorization hook consults
+the metadata registry's ownership records.  The service layer no longer
+pre-checks ownership itself, so SDK-less callers holding a
+``FabricAdmin`` built by :meth:`TopicService.admin_for` are governed by
+exactly the same rules as the REST routes.
 """
 
 from __future__ import annotations
@@ -13,8 +21,14 @@ from typing import Dict, List, Optional
 from repro.auth.acl import AclStore, Operation
 from repro.coordination.metadata import ClusterMetadataRegistry
 from repro.core.errors import NotAuthorizedError, NotFoundError, ValidationError
+from repro.fabric.admin import FabricAdmin
 from repro.fabric.cluster import FabricCluster
-from repro.fabric.errors import InvalidConfigError, TopicAlreadyExistsError
+from repro.fabric.errors import (
+    AuthorizationError,
+    InvalidConfigError,
+    TopicAlreadyExistsError,
+    UnknownTopicError,
+)
 from repro.fabric.topic import TopicConfig
 
 
@@ -28,11 +42,37 @@ class TopicService:
         acls: AclStore,
     ) -> None:
         self.cluster = cluster
-        # All fabric mutations go through the control-plane client; the
-        # cluster handle itself is only used for read-side introspection.
-        self.admin = cluster.admin()
         self.metadata = metadata
         self.acls = acls
+
+    # ------------------------------------------------------------------ #
+    # Control-plane authorization
+    # ------------------------------------------------------------------ #
+    def admin_for(self, principal: Optional[str]) -> FabricAdmin:
+        """A control-plane client for ``principal``, governed by ownership.
+
+        Admins are cheap per-principal views (see :class:`FabricAdmin`),
+        so one is built per call; every operation it performs flows
+        through :meth:`authorize_admin`.
+        """
+        return self.cluster.admin(principal=principal, authorizer=self.authorize_admin)
+
+    def authorize_admin(
+        self, principal: Optional[str], operation: str, resource: str
+    ) -> bool:
+        """The ``FabricAdmin`` hook: owners may manage their own topics.
+
+        ``CREATE_TOPIC`` is allowed for unregistered names (registration
+        claims ownership); every other topic operation requires the
+        caller to be the registered owner.  Non-topic resources (brokers,
+        cluster-wide operations) stay off-limits to user principals.
+        """
+        if principal is None or not resource.startswith("topic:"):
+            return False
+        topic = resource[len("topic:"):]
+        if not self.metadata.topic_exists(topic):
+            return operation == "CREATE_TOPIC"
+        return self.metadata.topic_owner(topic) == principal
 
     # ------------------------------------------------------------------ #
     # Registration
@@ -54,21 +94,35 @@ class TopicService:
             return self.describe_topic(principal, topic)
         topic_config = self._parse_config(config)
         try:
-            self.admin.create_topic(topic, topic_config)
+            self.admin_for(principal).create_topic(topic, topic_config)
         except TopicAlreadyExistsError:
             # The fabric already has it (e.g. re-registration after metadata
             # loss); ownership is what matters, fall through.
             pass
+        except AuthorizationError as exc:
+            raise NotAuthorizedError(str(exc)) from exc
         self.metadata.register_topic(topic, owner=principal, config=topic_config.to_dict())
         self.metadata.grant(topic, principal, ["READ", "WRITE", "DESCRIBE"])
         self.acls.grant_owner(principal, topic)
         return self.describe_topic(principal, topic)
 
     def release_topic(self, principal: str, topic: str) -> dict:
-        """``DELETE /topic/<topic>``: remove the topic and all grants."""
-        self._require_owner(principal, topic)
-        if self.cluster.has_topic(topic):
-            self.admin.delete_topic(topic)
+        """``DELETE /topic/<topic>``: remove the topic and all grants.
+
+        Ownership is enforced by the admin authorization hook (which runs
+        before the fabric even looks the topic up), not by this layer.
+        """
+        if not self.metadata.topic_exists(topic):
+            raise NotFoundError(f"topic {topic!r} is not registered")
+        try:
+            self.admin_for(principal).delete_topic(topic)
+        except AuthorizationError as exc:
+            raise NotAuthorizedError(f"only the owner may manage topic {topic!r}") from exc
+        except UnknownTopicError:
+            # Registered but absent from the fabric (metadata recovered
+            # from a loss): nothing to delete there, ownership was still
+            # checked by the hook above.
+            pass
         self.metadata.unregister_topic(topic)
         self.acls.revoke_topic(topic)
         return {"topic": topic, "status": "deleted"}
@@ -93,11 +147,18 @@ class TopicService:
     # ------------------------------------------------------------------ #
     def configure_topic(self, principal: str, topic: str, updates: dict) -> dict:
         """``POST /topic/<topic>``: update replication/retention/etc."""
-        self._require_owner(principal, topic)
+        if not self.metadata.topic_exists(topic):
+            raise NotFoundError(f"topic {topic!r} is not registered")
         if not updates:
             raise ValidationError("no configuration updates supplied")
         try:
-            config = self.admin.update_topic_config(topic, **updates)
+            config = self.admin_for(principal).update_topic_config(topic, **updates)
+        except AuthorizationError as exc:
+            raise NotAuthorizedError(f"only the owner may manage topic {topic!r}") from exc
+        except UnknownTopicError as exc:
+            # Registered in metadata but missing from the fabric (metadata
+            # recovered from a loss): surface as the API's own 404.
+            raise NotFoundError(str(exc)) from exc
         except (TypeError, InvalidConfigError) as exc:
             raise ValidationError(str(exc)) from exc
         self.metadata.set_topic_config(topic, config.to_dict())
@@ -105,9 +166,14 @@ class TopicService:
 
     def set_partitions(self, principal: str, topic: str, num_partitions: int) -> dict:
         """``POST /topic/<topic>/partitions``."""
-        self._require_owner(principal, topic)
+        if not self.metadata.topic_exists(topic):
+            raise NotFoundError(f"topic {topic!r} is not registered")
         try:
-            config = self.admin.set_partitions(topic, int(num_partitions))
+            config = self.admin_for(principal).set_partitions(topic, int(num_partitions))
+        except AuthorizationError as exc:
+            raise NotAuthorizedError(f"only the owner may manage topic {topic!r}") from exc
+        except UnknownTopicError as exc:
+            raise NotFoundError(str(exc)) from exc
         except (ValueError, InvalidConfigError) as exc:
             raise ValidationError(str(exc)) from exc
         self.metadata.set_topic_config(topic, config.to_dict())
@@ -120,7 +186,12 @@ class TopicService:
         self, principal: str, topic: str, user: str,
         operations: Optional[List[str]] = None,
     ) -> Dict[str, List[str]]:
-        """``POST /topic/<topic>/user`` with ``action=grant``."""
+        """``POST /topic/<topic>/user`` with ``action=grant``.
+
+        Sharing mutates the ACL/metadata stores, not fabric metadata, so
+        it is the one management path that does not travel through a
+        :class:`FabricAdmin`; ownership is checked directly.
+        """
         self._require_owner(principal, topic)
         operations = operations or ["READ", "DESCRIBE"]
         acl = self.metadata.grant(topic, user, operations)

@@ -266,14 +266,34 @@ class TriggerManager:
         return invocations
 
     def evaluate_scaling(self) -> Dict[str, int]:
-        """Re-evaluate processing pressure for every trigger (the 1-minute tick)."""
+        """Re-evaluate processing pressure for every trigger (the 1-minute tick).
+
+        Decisions are applied to each mapping's poller fleet, not just
+        recorded: scaling up joins consumers to the trigger's group and
+        scaling down retires them, and the cooperative group coordinator
+        moves only the minimal partition delta per event, so the pollers
+        that stay keep draining their retained partitions throughout.
+        A decision of 0 (no pending work) keeps one idle poller alive so
+        the mapping notices new events without a cold join.
+        """
         decisions: Dict[str, int] = {}
         for trigger in self._triggers.values():
+            if not trigger.mapping.enabled:
+                # A disabled mapping never polls, so spawned pollers could
+                # not even acknowledge the rebalance — hold the fleet as
+                # is until the trigger is re-enabled.
+                decisions[trigger.trigger_id] = trigger.concurrency
+                continue
             backlog = trigger.mapping.pending_events()
-            trigger.concurrency = trigger.scaler.next_concurrency(
+            decision = trigger.scaler.next_concurrency(
                 backlog,
                 in_flight=self.executor.in_flight_for(trigger.spec.function_name),
                 current=max(trigger.concurrency, 1),
             )
+            applied = trigger.mapping.set_concurrency(max(1, decision))
+            # Record what actually runs (the mapping clamps to the live
+            # partition count); 0 is preserved as the idle signal even
+            # though one poller stays alive to notice new events.
+            trigger.concurrency = applied if decision > 0 else 0
             decisions[trigger.trigger_id] = trigger.concurrency
         return decisions

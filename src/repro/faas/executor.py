@@ -13,7 +13,7 @@ import itertools
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.common.clock import Clock, SystemClock

@@ -120,6 +120,17 @@ class TriggerScalingSimulator:
         Optional ``f(t) -> int`` giving the number of *new* events arriving
         during the time step ending at ``t`` (used for Figure 7, where FS
         events stream in rather than being pre-buffered).
+    rebalance_pause_seconds:
+        Consumer-group rebalance cost charged when a scaling evaluation
+        changes the concurrency (0 disables the model, the default and
+        the paper-calibrated behaviour).  Under *eager* rebalancing every
+        in-flight invocation stalls for this long — the whole group stops
+        while partitions reshuffle.  Under *cooperative* rebalancing only
+        invocations whose partitions actually move stall: one per unit of
+        concurrency delta.
+    cooperative:
+        Selects the cooperative (sticky, revoke-then-assign) rebalance
+        cost model over the eager stop-the-world one.
     """
 
     num_tasks: int
@@ -129,6 +140,8 @@ class TriggerScalingSimulator:
     policy: ScalingPolicy = field(default_factory=ScalingPolicy)
     arrival_fn: Optional[Callable[[float], int]] = None
     time_step_seconds: float = 1.0
+    rebalance_pause_seconds: float = 0.0
+    cooperative: bool = True
 
     def run(self, max_seconds: float = 7200.0) -> List[ScalingSample]:
         """Run until the backlog is drained (or ``max_seconds``)."""
@@ -162,7 +175,23 @@ class TriggerScalingSimulator:
                 in_flight.append(self.task_duration_seconds)
             # Periodic scaling evaluation.
             if t >= next_evaluation:
-                concurrency = scaler.next_concurrency(queue, len(in_flight), max(concurrency, 1))
+                decided = scaler.next_concurrency(queue, len(in_flight), max(concurrency, 1))
+                if (
+                    decided != concurrency
+                    and self.rebalance_pause_seconds > 0
+                    and in_flight
+                ):
+                    # A scale event rebalances the trigger's consumer
+                    # group: eager reshuffling stalls every in-flight
+                    # invocation, cooperative stalls only those whose
+                    # partitions move (at most the concurrency delta).
+                    if self.cooperative:
+                        stalled = min(abs(decided - concurrency), len(in_flight))
+                    else:
+                        stalled = len(in_flight)
+                    for i in range(stalled):
+                        in_flight[i] += self.rebalance_pause_seconds
+                concurrency = decided
                 next_evaluation += self.policy.evaluation_interval_seconds
             samples.append(ScalingSample(t, queue, len(in_flight), completed))
             if queue == 0 and not in_flight and (

@@ -37,11 +37,11 @@ from typing import (
     Union,
 )
 
+from repro.common.clock import Clock
 from repro.fabric.broker import Broker, BrokerSpec
 from repro.fabric.errors import (
     AuthorizationError,
     BrokerUnavailableError,
-    NotLeaderError,
     UnknownTopicError,
 )
 from repro.fabric.group import ConsumerGroupCoordinator, TopicPartition
@@ -226,6 +226,7 @@ class FabricCluster:
         memory_gb_per_broker: int = 8,
         authorizer: Optional[Authorizer] = None,
         name: str = "octopus-msk",
+        clock: Optional[Clock] = None,
     ) -> None:
         if num_brokers < 1:
             raise ValueError("a cluster needs at least one broker")
@@ -247,7 +248,10 @@ class FabricCluster:
         self._lock = threading.RLock()
         self._replication = ReplicationManager(self._brokers)
         self._offsets = OffsetStore()
-        self._groups = ConsumerGroupCoordinator()
+        # The coordinator shares the cluster's injectable clock so group
+        # liveness (heartbeats, session expiry) is testable without real
+        # waiting, exactly like consumer auto-commit and producer linger.
+        self._groups = ConsumerGroupCoordinator(clock=clock)
         self._retention = RetentionEnforcer()
         self._authorizer: Authorizer = authorizer or _allow_all
         self._append_locks: Dict[Tuple[str, int], threading.Lock] = {}

@@ -11,6 +11,13 @@ assignment is served in one :meth:`FabricCluster.fetch_many` pass per
 poll (one authorization check per topic, leader resolutions cached on the
 session), and with ``prefetch=True`` a background thread pipelines the
 next fetch while the application processes the current batch.
+
+Group membership follows the coordinator's incremental *cooperative*
+rebalance protocol (see :mod:`repro.fabric.group`): each poll adopts any
+new generation — keeping positions and prefetch buffers for retained
+partitions, committing and releasing only the revoked delta — and sends
+a clock-paced liveness heartbeat.  ``on_partitions_revoked`` /
+``on_partitions_assigned`` listeners observe the deltas.
 """
 
 from __future__ import annotations
@@ -19,13 +26,16 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
-from repro.common.clock import Clock, SystemClock
+from repro.common.clock import Clock
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.errors import CommitFailedError, FabricError, IllegalGenerationError
 from repro.fabric.group import TopicPartition
 from repro.fabric.record import StoredRecord
+
+#: Rebalance listener signature: called with the affected partitions.
+RebalanceListener = Callable[[List[TopicPartition]], None]
 
 #: Latency samples retained per client; long-running consumers/producers
 #: previously accumulated one float per poll forever.
@@ -41,7 +51,11 @@ class ConsumerConfig:
     ``auto_offset_reset`` selects earliest/latest behaviour when the group
     has no committed offset.  ``prefetch`` enables the background prefetch
     thread: while the application processes one batch, the next fetch is
-    already in flight.
+    already in flight.  ``heartbeat_interval_seconds`` paces the liveness
+    heartbeats each poll sends to the group coordinator (driven by the
+    consumer's injectable clock); ``session_timeout_seconds`` is how long
+    the coordinator waits for one before evicting this member (``None``
+    uses the coordinator default).
     """
 
     group_id: str = "default-group"
@@ -53,6 +67,8 @@ class ConsumerConfig:
     receive_buffer_bytes: int = 2 * 1024 * 1024
     start_timestamp: Optional[float] = None
     prefetch: bool = False
+    heartbeat_interval_seconds: float = 3.0
+    session_timeout_seconds: Optional[float] = None
 
     def validate(self) -> None:
         if self.auto_offset_reset not in ("earliest", "latest", "timestamp"):
@@ -63,6 +79,15 @@ class ConsumerConfig:
             raise ValueError("start_timestamp required when auto_offset_reset='timestamp'")
         if self.max_poll_records <= 0:
             raise ValueError("max_poll_records must be > 0")
+        if self.heartbeat_interval_seconds <= 0:
+            raise ValueError("heartbeat_interval_seconds must be > 0")
+        if (
+            self.session_timeout_seconds is not None
+            and self.session_timeout_seconds <= self.heartbeat_interval_seconds
+        ):
+            raise ValueError(
+                "session_timeout_seconds must exceed heartbeat_interval_seconds"
+            )
 
 
 @dataclass
@@ -74,6 +99,9 @@ class ConsumerMetrics:
     polls: int = 0
     commits: int = 0
     prefetch_hits: int = 0
+    rebalances: int = 0
+    partitions_revoked: int = 0
+    heartbeats: int = 0
     poll_latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=METRICS_WINDOW)
     )
@@ -90,18 +118,45 @@ class FabricConsumer:
         *,
         principal: Optional[str] = None,
         clock: Optional[Clock] = None,
+        on_partitions_revoked: Optional[RebalanceListener] = None,
+        on_partitions_assigned: Optional[RebalanceListener] = None,
     ) -> None:
         self.config = config or ConsumerConfig()
         self.config.validate()
+        # config.validate() can only compare against an *explicit* session
+        # timeout; when deferring to the coordinator's default, the same
+        # sanity check must hold or a healthy-but-slow heartbeater would
+        # be evicted and rejoin forever.
+        effective_timeout = (
+            self.config.session_timeout_seconds
+            if self.config.session_timeout_seconds is not None
+            else cluster.groups.session_timeout
+        )
+        if self.config.heartbeat_interval_seconds >= effective_timeout:
+            raise ValueError(
+                f"heartbeat_interval_seconds ({self.config.heartbeat_interval_seconds}) "
+                f"must be below the effective session timeout ({effective_timeout})"
+            )
         self._cluster = cluster
         self._principal = principal
-        self._clock: Clock = clock or SystemClock()
+        # Default to the coordinator's clock, not a private SystemClock:
+        # heartbeat pacing and the coordinator's session-expiry sweeps must
+        # share one time base, or a cluster driven by a ManualClock would
+        # evict consumers that poll diligently but heartbeat on wall time.
+        self._clock: Clock = clock or cluster.groups.clock
         self._topics = list(topics)
         self._lock = threading.RLock()
         self._positions: Dict[TopicPartition, int] = {}
         self._poll_cursor = 0
         self._closed = False
         self._last_auto_commit = self._clock.now()
+        self._last_heartbeat = self._clock.now()
+        # Rebalance listeners, called during cooperative rebalances:
+        # ``on_partitions_revoked`` right before revoked partitions are
+        # released (positions still intact, so applications can flush),
+        # ``on_partitions_assigned`` right after new partitions arrive.
+        self._on_partitions_revoked = on_partitions_revoked
+        self._on_partitions_assigned = on_partitions_assigned
         self.metrics = ConsumerMetrics()
         self._session: FetchSession = cluster.fetch_session(principal=principal)
         # Prefetch machinery (only materialised when config.prefetch).
@@ -110,13 +165,12 @@ class FabricConsumer:
         self._prefetch_stop = threading.Event()
         self._prefetch_thread: Optional[threading.Thread] = None
         self._prefetch_session: Optional[FetchSession] = None
-        partitions = self._all_partitions()
-        self._member_id, self._generation, assignment = cluster.groups.join(
-            self.config.group_id, self.config.client_id, self._topics, partitions
-        )
-        self._assignment = list(assignment)
-        self._session.set_assignment(self._assignment)
-        self._initialise_positions()
+        self._metadata_epoch = cluster.metadata_epoch
+        self._assignment: List[TopicPartition] = []
+        self._member_id: str = ""
+        self._generation = -1
+        self._join_group()
+        self._maybe_rejoin()
         if self.config.prefetch:
             self._prefetch_session = cluster.fetch_session(principal=principal)
             self._prefetch_thread = threading.Thread(
@@ -147,30 +201,23 @@ class FabricConsumer:
             partitions.extend(self._cluster.partitions_for(topic))
         return partitions
 
-    def _initialise_positions(self) -> None:
-        """Seed fetch positions from committed offsets or the reset policy."""
-        with self._lock:
-            for topic, partition in self._assignment:
-                committed = self._cluster.offsets.committed(
-                    self.config.group_id, topic, partition
-                )
-                if committed is not None:
-                    self._positions[(topic, partition)] = committed
-                    continue
-                if self.config.auto_offset_reset == "latest":
-                    self._positions[(topic, partition)] = self._cluster.end_offset(
-                        topic, partition
-                    )
-                elif self.config.auto_offset_reset == "timestamp":
-                    log = self._cluster.topic(topic).partition(partition)
-                    offset = log.offset_for_timestamp(self.config.start_timestamp or 0.0)
-                    self._positions[(topic, partition)] = (
-                        offset if offset is not None else log.log_end_offset
-                    )
-                else:  # earliest
-                    self._positions[(topic, partition)] = self._cluster.beginning_offset(
-                        topic, partition
-                    )
+    def reset_position(self, topic: str, partition: int) -> int:
+        """Initial fetch position: the committed offset or the reset policy.
+
+        Public because lag accounting (e.g. an event-source mapping sizing
+        backlog on partitions no poller currently owns) needs the same
+        answer the consumer itself would seed from.
+        """
+        committed = self._cluster.offsets.committed(self.config.group_id, topic, partition)
+        if committed is not None:
+            return committed
+        if self.config.auto_offset_reset == "latest":
+            return self._cluster.end_offset(topic, partition)
+        if self.config.auto_offset_reset == "timestamp":
+            log = self._cluster.topic(topic).partition(partition)
+            offset = log.offset_for_timestamp(self.config.start_timestamp or 0.0)
+            return offset if offset is not None else log.log_end_offset
+        return self._cluster.beginning_offset(topic, partition)  # earliest
 
     def position(self, topic: str, partition: int) -> int:
         with self._lock:
@@ -220,6 +267,7 @@ class FabricConsumer:
         """
         self._ensure_open()
         self._maybe_rejoin()
+        self._maybe_heartbeat()
         limit = max_records if max_records is not None else self.config.max_poll_records
         start = time.perf_counter()
         out: Dict[TopicPartition, List[StoredRecord]] = {}
@@ -390,17 +438,18 @@ class FabricConsumer:
     def _prefetch_once(self) -> None:
         """One background fetch pass from the current positions.
 
-        Safe to call concurrently with :meth:`poll`: the result is only
-        installed if, at install time, the group generation is unchanged,
-        the partition is still owned, its buffer is still empty and the
-        fetched records start exactly at the current position.  Anything
-        else — a rebalance, a seek, a racing drain — discards the fetch.
+        Safe to call concurrently with :meth:`poll`: each partition's
+        result is only installed if, at install time, the partition is
+        still owned, its buffer is still empty and the fetched records
+        start exactly at the current position.  Anything else — a seek, a
+        racing drain, a cooperative revocation — discards that
+        partition's fetch; fetches for partitions *retained* across a
+        rebalance stay valid and are kept.
         """
         assert self._prefetch_session is not None
         with self._lock:
             if self._closed:
                 return
-            generation = self._generation
             requests = [
                 FetchRequest(topic, partition, self._positions[(topic, partition)])
                 for topic, partition in self._assignment
@@ -415,8 +464,11 @@ class FabricConsumer:
             max_bytes=self.config.receive_buffer_bytes,
         )
         with self._lock:
-            if self._closed or generation != self._generation:
-                return  # rebalanced underneath us: never deliver stale records
+            if self._closed:
+                return
+            # Cooperative rebalance: a partition we still own with an
+            # unmoved position keeps its prefetch even if the generation
+            # advanced while the fetch was in flight.
             owned = set(self._assignment)
             for tp, records in batches.items():
                 if tp not in owned or self._prefetched.get(tp):
@@ -428,39 +480,153 @@ class FabricConsumer:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def _maybe_rejoin(self) -> None:
-        """Refresh the assignment if the group has rebalanced underneath us."""
-        current = self._cluster.groups.generation(self.config.group_id)
-        if current != self._generation:
-            assignment = self._cluster.groups.assignment(
-                self.config.group_id, self._member_id
+    def _join_group(self) -> tuple[int, List[TopicPartition]]:
+        """Join (or rejoin after eviction) the group and adopt + ack.
+
+        One definition of the join protocol — member registration, adoption
+        of the returned assignment, and the acknowledging ``sync`` (a new
+        member has nothing to revoke, and the ack may settle a cooperative
+        rebalance already in flight) — shared by construction and the
+        eviction-recovery path.  Returns the post-ack snapshot.
+        """
+        groups = self._cluster.groups
+        self._member_id, generation, assignment = groups.join(
+            self.config.group_id,
+            self.config.client_id,
+            self._topics,
+            self._all_partitions(),
+            session_timeout=self.config.session_timeout_seconds,
+        )
+        self._adopt(generation, assignment)
+        return groups.sync(self.config.group_id, self._member_id, generation)
+
+    def set_rebalance_listeners(
+        self,
+        *,
+        on_partitions_revoked: Optional[RebalanceListener] = None,
+        on_partitions_assigned: Optional[RebalanceListener] = None,
+    ) -> None:
+        """Install or replace the rebalance listeners after construction.
+
+        Listeners are read at call time, so this affects every subsequent
+        adoption; it does not replay the initial assignment — callers
+        attaching late should handle :meth:`assignment` themselves.
+        """
+        self._on_partitions_revoked = on_partitions_revoked
+        self._on_partitions_assigned = on_partitions_assigned
+
+    def _maybe_heartbeat(self) -> None:
+        """Send a liveness heartbeat when the clock-paced interval elapses.
+
+        Driven by the injectable clock, so tests advance a ``ManualClock``
+        instead of sleeping.  A stale-generation response is not an error
+        here: the rebalance it signals is adopted by ``_maybe_rejoin`` on
+        this or the next poll.
+        """
+        now = self._clock.now()
+        if now - self._last_heartbeat < self.config.heartbeat_interval_seconds:
+            return
+        self._last_heartbeat = now
+        try:
+            self._cluster.groups.heartbeat(
+                self.config.group_id, self._member_id, self._generation
             )
-            with self._lock:
-                self._generation = current
-                self._assignment = list(assignment)
-                self._session.set_assignment(self._assignment)
-                # Rebalance: prefetched-but-undelivered records may belong
-                # to partitions we no longer own — drop the whole buffer
-                # rather than risk stale or duplicate delivery.
-                self._prefetched.clear()
-                # Forget positions of revoked partitions: committing them
-                # after the rebalance would clobber the new owner's progress.
-                owned = set(self._assignment)
-                for tp in [tp for tp in self._positions if tp not in owned]:
-                    del self._positions[tp]
-                for tp in self._assignment:
-                    if tp not in self._positions:
-                        committed = self._cluster.offsets.committed(
-                            self.config.group_id, tp[0], tp[1]
-                        )
-                        if committed is not None:
-                            self._positions[tp] = committed
-                        elif self.config.auto_offset_reset == "latest":
-                            self._positions[tp] = self._cluster.end_offset(tp[0], tp[1])
-                        else:
-                            self._positions[tp] = self._cluster.beginning_offset(
-                                tp[0], tp[1]
+            self.metrics.heartbeats += 1
+        except IllegalGenerationError:
+            pass
+
+    def _maybe_rejoin(self) -> None:
+        """Follow the group through a cooperative rebalance, if one is on.
+
+        Each iteration adopts the coordinator's current generation — keeping
+        retained partitions' positions and prefetch buffers, releasing only
+        the revoked delta — then acknowledges it via ``sync``.  The ack can
+        itself promote the pending target assignment (if we were the last
+        member the coordinator was waiting on), in which case the loop
+        picks up the assign-phase generation immediately instead of on the
+        next poll.  An evicted member (missed heartbeats while the
+        application was busy) rejoins as a fresh member.
+        """
+        groups = self._cluster.groups
+        group_id = self.config.group_id
+        # Metadata moved (partition growth, failover)? Refresh the group's
+        # partition set so new partitions get assigned — the in-process
+        # mirror of Kafka's metadata-refresh-triggered rebalance.
+        epoch = self._cluster.metadata_epoch
+        if epoch != self._metadata_epoch:
+            self._metadata_epoch = epoch
+            groups.update_partitions(group_id, self._all_partitions())
+        # Generation and assignment must come from one atomic snapshot
+        # (and sync returns the next one the same way): mixing generation
+        # G with G+1's assignment would void the commit-on-revoke.
+        current, assignment = groups.current_assignment(group_id, self._member_id)
+        while current != self._generation:
+            self._adopt(current, assignment)
+            try:
+                current, assignment = groups.sync(group_id, self._member_id, current)
+            except IllegalGenerationError:
+                # Evicted: everything was already released by the adopt
+                # above (our assignment read back empty), so rejoin.
+                current, assignment = self._join_group()
+
+    def _adopt(self, generation: int, assignment: Sequence[TopicPartition]) -> None:
+        """Install one generation's assignment, cooperatively.
+
+        Retained partitions keep their fetch positions and prefetch
+        buffers untouched — they never stop being fetchable.  Revoked
+        partitions are committed first (when auto-commit is on; manual
+        committers keep at-least-once by letting the new owner re-read),
+        then handed to the revocation listener, then released.  Added
+        partitions start from the committed offset or the reset policy.
+        """
+        with self._lock:
+            old = self._assignment
+            new = list(assignment)
+            old_set, new_set = set(old), set(new)
+            revoked = [tp for tp in old if tp not in new_set]
+            added = [tp for tp in new if tp not in old_set]
+            self._generation = generation
+            if revoked:
+                if self.config.enable_auto_commit:
+                    to_commit = {
+                        tp: self._positions[tp] for tp in revoked if tp in self._positions
+                    }
+                    if to_commit:
+                        try:
+                            # commit-on-revoke rides the batched
+                            # commit_many path under the generation we
+                            # just adopted (we own these partitions until
+                            # this very moment).
+                            self._cluster.commit_group(
+                                self.config.group_id,
+                                to_commit,
+                                generation=generation,
+                                member_id=self._member_id,
                             )
+                            self.metrics.commits += 1
+                        except (CommitFailedError, IllegalGenerationError):
+                            pass  # best effort; the new owner re-reads
+                if self._on_partitions_revoked is not None:
+                    try:
+                        self._on_partitions_revoked(list(revoked))
+                    except Exception:
+                        pass  # listeners must not wedge the rebalance
+                for tp in revoked:
+                    self._positions.pop(tp, None)
+                    self._prefetched.pop(tp, None)
+                self.metrics.partitions_revoked += len(revoked)
+            for tp in added:
+                if tp not in self._positions:
+                    self._positions[tp] = self.reset_position(tp[0], tp[1])
+            self._assignment = new
+            self._session.set_assignment(new)
+            if revoked or added:
+                self.metrics.rebalances += 1
+            if added and self._on_partitions_assigned is not None:
+                try:
+                    self._on_partitions_assigned(list(added))
+                except Exception:
+                    pass
 
     def close(self) -> None:
         """Stop prefetching, commit (if auto-commit) and leave the group."""
@@ -475,9 +641,10 @@ class FabricConsumer:
                 self.commit()
             except CommitFailedError:
                 pass
-        self._cluster.groups.leave(
-            self.config.group_id, self._member_id, self._all_partitions()
-        )
+        # No partition list: a topic lookup could raise for a topic deleted
+        # while this consumer was open, leaking the membership — the
+        # coordinator falls back to its stored partition snapshot.
+        self._cluster.groups.leave(self.config.group_id, self._member_id)
         self._closed = True
 
     def __enter__(self) -> "FabricConsumer":

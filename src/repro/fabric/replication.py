@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.fabric.broker import Broker
-from repro.fabric.errors import BrokerUnavailableError, NotEnoughReplicasError
+from repro.fabric.errors import NotEnoughReplicasError
 
 
 @dataclass

@@ -18,7 +18,7 @@ latency at that throughput.  The client model reproduces that behaviour:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

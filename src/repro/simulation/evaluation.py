@@ -27,7 +27,6 @@ from repro.simulation.cluster_model import (
     ClusterCapacityModel,
     ClusterSpec,
 )
-from repro.simulation.metrics import LatencyStats
 from repro.simulation.network import ClientLocation
 
 

@@ -1,0 +1,18 @@
+"""Shared test configuration: Hypothesis example-budget profiles.
+
+The push/PR CI matrix runs Hypothesis under its default budget.  The
+nightly ``schedule:`` job exports ``HYPOTHESIS_PROFILE=soak`` to hammer
+the property suites — most importantly the cooperative sticky-assignment
+invariants — with a much larger ``max_examples`` budget.
+
+Tests that pin ``max_examples`` in an explicit ``@settings`` keep their
+own budget; the soak-oriented properties leave it unset so the selected
+profile decides.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("soak", max_examples=2500, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import OctopusDeployment
-from repro.core.errors import NotAuthorizedError, NotFoundError, ValidationError
+from repro.core.errors import NotFoundError
 from repro.core.routes import Router
 from repro.faas.function import FunctionDefinition
 
@@ -195,6 +195,86 @@ class TestTopicRoutes:
         ]:
             status, _ = deployment.service.handle(method, path, token=bob_token, body=body)
             assert status == 403
+
+
+class TestAdminAuthorizationHook:
+    """OWS ownership checks flow through the FabricAdmin (principal,
+    operation, resource) hook, so SDK-less admin access is governed too."""
+
+    def test_mutations_travel_through_the_hook(self, deployment, token):
+        calls = []
+        topics = deployment.service.topics
+        original = topics.authorize_admin
+
+        def recording(principal, operation, resource):
+            calls.append((principal, operation, resource))
+            return original(principal, operation, resource)
+
+        topics.authorize_admin = recording
+        deployment.service.handle(
+            "PUT", "/topic/governed", token=token, body={}
+        )
+        deployment.service.handle(
+            "POST", "/topic/governed/partitions", token=token,
+            body={"num_partitions": 4},
+        )
+        assert ("alice@uchicago.edu", "CREATE_TOPIC", "topic:governed") in calls
+        assert ("alice@uchicago.edu", "ALTER_TOPIC", "topic:governed") in calls
+
+    def test_sdk_less_admin_is_governed_by_ownership(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/owned", token=token, body={})
+        topics = deployment.service.topics
+        from repro.fabric.errors import AuthorizationError
+
+        mallory = topics.admin_for("mallory@evil.example")
+        with pytest.raises(AuthorizationError):
+            mallory.delete_topic("owned")
+        with pytest.raises(AuthorizationError):
+            mallory.update_topic_config("owned", retention_hours=1)
+        with pytest.raises(AuthorizationError):
+            mallory.create_topic("owned")  # registered to someone else
+        # Broker/cluster-scoped control operations stay off-limits to users.
+        with pytest.raises(AuthorizationError):
+            topics.admin_for("alice@uchicago.edu").fail_broker(0)
+        # The owner's admin view works end to end.
+        owner = topics.admin_for("alice@uchicago.edu")
+        owner.set_partitions("owned", 2)
+        assert deployment.cluster.topic("owned").num_partitions == 2
+
+    def test_fabric_missing_topic_maps_to_404_not_a_crash(self, deployment, token):
+        """Regression: a topic registered in metadata but missing from the
+        fabric (metadata recovered from a loss) must answer configuration
+        requests with 404, not leak UnknownTopicError out of handle()."""
+        deployment.service.handle("PUT", "/topic/ghost", token=token, body={})
+        deployment.cluster.admin().delete_topic("ghost")  # fabric-side only
+        status, _ = deployment.service.handle(
+            "POST", "/topic/ghost", token=token, body={"retention_hours": 1}
+        )
+        assert status == 404
+        status, _ = deployment.service.handle(
+            "POST", "/topic/ghost/partitions", token=token,
+            body={"num_partitions": 4},
+        )
+        assert status == 404
+        status, _ = deployment.service.handle("DELETE", "/topic/ghost", token=token)
+        assert status == 200
+
+    def test_non_owner_route_rejection_maps_to_403(self, deployment, token):
+        deployment.service.handle("PUT", "/topic/mine", token=token, body={})
+        other = deployment.auth.login("bob", "anl.gov", ["octopus:all"]).token
+        status, _ = deployment.service.handle(
+            "POST", "/topic/mine", token=other, body={"retention_hours": 1}
+        )
+        assert status == 403
+        status, _ = deployment.service.handle(
+            "DELETE", "/topic/mine", token=other
+        )
+        assert status == 403
+        status, _ = deployment.service.handle(
+            "POST", "/topic/mine/partitions", token=other,
+            body={"num_partitions": 8},
+        )
+        assert status == 403
 
 
 class TestCreateKey:

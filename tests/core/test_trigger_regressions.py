@@ -83,6 +83,33 @@ class TestScalingAccountsInFlight:
                 manager.executor._in_flight_by_function = {}
         assert observed["in_flight"] == 3
 
+    def test_scaling_decisions_are_applied_to_the_poller_fleet(self, manager):
+        trigger = manager.create_trigger(
+            "alice", TriggerSpec(topic="t", function_name="fn")
+        )
+        FabricProducer(manager.cluster).send_batch("t", list(range(50)))
+        decisions = manager.evaluate_scaling()
+        assert trigger.mapping.concurrency == max(
+            1, min(decisions[trigger.trigger_id], 2)
+        )
+        assert trigger.mapping.concurrency == 2  # backlog over 2 partitions
+
+    def test_disabled_mapping_is_not_scaled(self, manager):
+        """Regression: spawning pollers for a disabled mapping wedges the
+        cooperative rebalance — the new members never poll, so they can
+        never acknowledge their join."""
+        trigger = manager.create_trigger(
+            "alice", TriggerSpec(topic="t", function_name="fn", enabled=False)
+        )
+        FabricProducer(manager.cluster).send_batch("t", list(range(50)))
+        decisions = manager.evaluate_scaling()
+        assert decisions[trigger.trigger_id] == trigger.concurrency
+        assert trigger.mapping.concurrency == 1
+        # Re-enabling resumes scaling on the next tick.
+        manager.update_trigger("alice", trigger.trigger_id, {"enabled": True})
+        manager.evaluate_scaling()
+        assert trigger.mapping.concurrency == 2
+
     def test_trigger_drains_produced_events(self, manager):
         producer = FabricProducer(manager.cluster)
         trigger = manager.create_trigger(

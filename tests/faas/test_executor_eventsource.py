@@ -298,6 +298,105 @@ class TestEventSourceMapping:
         # Both mappings see the same event independently.
         assert m1.poll_once() and m2.poll_once()
 
+    def test_set_concurrency_clamps_and_counts_scale_events(self, cluster):
+        mapping, _ = self.make_mapping(cluster, lambda e, c: None)
+        assert mapping.concurrency == 1
+        assert mapping.set_concurrency(3) == 3
+        assert mapping.set_concurrency(99) == 4  # clamped to the partition count
+        assert mapping.set_concurrency(0) == 1  # always one poller alive
+        assert mapping.set_concurrency(1) == 1  # no-op, not a scale event
+        assert mapping.stats.scale_events == 3
+
+    def test_scaled_fleet_drains_backlog_exactly_once(self, cluster):
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster,
+            lambda event, ctx: seen.extend(event["records"]),
+            EventSourceConfig(batch_size=10),
+        )
+        producer = FabricProducer(cluster)
+        for i in range(40):
+            producer.send("fs-events", {"i": i})
+        mapping.set_concurrency(4)
+        mapping.drain()
+        assert sorted(r["value"]["i"] for r in seen) == list(range(40))
+        assert mapping.lag() == 0
+
+    def test_scale_event_rides_a_cooperative_rebalance(self, cluster):
+        """Growing the fleet must not reshuffle the incumbent poller's
+        whole assignment: it keeps a sticky subset and only the minimal
+        delta moves to the new pollers."""
+        mapping, _ = self.make_mapping(cluster, lambda e, c: None)
+        incumbent = mapping._consumers[0]
+        before = set(incumbent.assignment())
+        assert len(before) == 4
+        mapping.set_concurrency(2)
+        mapping.poll_once()  # both pollers adopt; the rebalance settles
+        mapping.poll_once()
+        fleet_assignments = [set(c.assignment()) for c in mapping._consumers]
+        assert fleet_assignments[0] <= before  # sticky: retained, not swapped
+        assert incumbent.metrics.partitions_revoked == 2
+        union = set().union(*fleet_assignments)
+        assert union == set(cluster.partitions_for("fs-events"))
+        assert sum(len(a) for a in fleet_assignments) == len(union)
+
+    def test_latest_mapping_never_skips_events_across_a_scale_up(self, cluster):
+        """Regression: 'latest' is pinned when a partition first enters the
+        mapping's group.  Without the pin, scaling up moved never-polled
+        partitions to new pollers that re-evaluated 'latest' at a later
+        log end — silently skipping every event in between."""
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster,
+            lambda event, ctx: seen.extend(event["records"]),
+            EventSourceConfig(starting_position="latest"),
+        )
+        # Events arriving after mapping creation but before any poll...
+        producer = FabricProducer(cluster)
+        for i in range(12):
+            producer.send("fs-events", {"i": i})
+        # ...must survive the partitions changing owners on a scale-up.
+        mapping.set_concurrency(4)
+        assert mapping.lag() == 12
+        mapping.drain()
+        assert sorted(r["value"]["i"] for r in seen) == list(range(12))
+
+    def test_partition_growth_reaches_the_fleet_and_drains(self, cluster):
+        """Regression: growing the topic after the mapping exists must
+        trigger a rebalance onto the new partitions — lag() counted them
+        but drain() could never assign them, busy-spinning max_polls."""
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster, lambda event, ctx: seen.extend(event["records"])
+        )
+        mapping.poll_once()  # fleet settled on the original 4 partitions
+        cluster.admin().set_partitions("fs-events", 6)
+        producer = FabricProducer(cluster)
+        producer.send("fs-events", {"i": 1}, partition=5)
+        assert mapping.lag() == 1
+        results = mapping.drain(max_polls=20)
+        assert [r["value"]["i"] for r in seen] == [1]
+        assert results and mapping.lag() == 0
+
+    def test_scale_down_returns_partitions_to_survivors(self, cluster):
+        seen = []
+        mapping, _ = self.make_mapping(
+            cluster, lambda event, ctx: seen.extend(event["records"])
+        )
+        mapping.set_concurrency(4)
+        mapping.poll_once()
+        mapping.set_concurrency(1)
+        mapping.poll_once()
+        survivor = mapping._consumers[0]
+        assert set(survivor.assignment()) == set(
+            cluster.partitions_for("fs-events")
+        )
+        producer = FabricProducer(cluster)
+        for i in range(8):
+            producer.send("fs-events", {"i": i})
+        mapping.drain()
+        assert sorted(r["value"]["i"] for r in seen) == list(range(8))
+
     def test_invalid_config_rejected(self):
         with pytest.raises(ValueError):
             EventSourceConfig(batch_size=0).validate()

@@ -118,3 +118,24 @@ class TestTriggerScalingSimulator:
             num_tasks=1000, task_duration_seconds=10.0, partitions=16, batch_size=10
         )
         assert batch10.completion_time(batch10.run()) < batch1.completion_time(batch1.run())
+
+    def test_cooperative_rebalance_cost_is_below_eager(self):
+        """Every scale event rebalances the trigger's consumer group: the
+        eager stop-the-world model stalls all in-flight invocations, the
+        cooperative model only those whose partitions move — so end-to-end
+        completion must order baseline <= cooperative <= eager."""
+        kwargs = dict(
+            num_tasks=1000, task_duration_seconds=30.0, partitions=128,
+            rebalance_pause_seconds=15.0,
+        )
+        baseline = TriggerScalingSimulator(
+            num_tasks=1000, task_duration_seconds=30.0, partitions=128
+        ).run()
+        cooperative = TriggerScalingSimulator(cooperative=True, **kwargs).run()
+        eager = TriggerScalingSimulator(cooperative=False, **kwargs).run()
+        t = TriggerScalingSimulator.completion_time
+        assert t(baseline) <= t(cooperative) < t(eager)
+        # All three still finish the same work.
+        assert baseline[-1].completed == 1000
+        assert cooperative[-1].completed == 1000
+        assert eager[-1].completed == 1000

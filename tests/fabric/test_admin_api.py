@@ -12,7 +12,6 @@ import warnings
 import pytest
 
 from repro.auth.acl import AclStore
-from repro.fabric.admin import FabricAdmin
 from repro.fabric.cluster import FabricCluster, FetchRequest
 from repro.fabric.consumer import ConsumerConfig, FabricConsumer
 from repro.fabric.errors import (

@@ -290,7 +290,7 @@ class TestPrefetch:
         for offsets in seen.values():
             assert offsets == sorted(set(offsets))  # no duplicates, in order
 
-    def test_prefetched_records_discarded_on_rebalance(self):
+    def test_prefetch_survives_rebalance_for_retained_partitions_only(self):
         cluster = make_cluster(partitions=2)
         fill(cluster, "events", 0, 10)
         fill(cluster, "events", 1, 10)
@@ -302,20 +302,20 @@ class TestPrefetch:
             ),
         )
         first._prefetch_once()
-        assert first._prefetched  # buffer primed for both partitions
+        assert set(first._prefetched) == set(first.assignment())  # both primed
         second = FabricConsumer(
             cluster,
             ["events"],
             ConsumerConfig(group_id="shared", enable_auto_commit=False),
         )
-        batches = first.poll()  # detects the rebalance
-        assert first._prefetched == {} or set(first._prefetched) <= set(
-            first.assignment()
-        )
+        batches = first.poll()  # adopts the cooperative revocation
         owned = set(first.assignment())
         assert len(owned) == 1
-        # Nothing from the revoked partition leaked out of the stale buffer.
-        assert set(batches) <= owned
+        # Selective invalidation: the revoked partition's buffer is gone,
+        # but the retained partition was served straight from prefetch —
+        # it never stopped, and nothing stale leaked out.
+        assert set(batches) == owned
+        assert first.metrics.prefetch_hits == 10
         for tp, records in batches.items():
             assert [r.offset for r in records] == list(range(len(records)))
         first.close()

@@ -2,9 +2,31 @@
 
 import pytest
 
+from repro.common.clock import ManualClock
 from repro.fabric.errors import IllegalGenerationError
-from repro.fabric.group import ConsumerGroupCoordinator, range_assign
+from repro.fabric.group import (
+    PHASE_REVOKING,
+    PHASE_STABLE,
+    ConsumerGroupCoordinator,
+    range_assign,
+    sticky_cooperative_assign,
+)
 from repro.fabric.offsets import OffsetStore
+
+
+def settle(coordinator, group_id):
+    """Acknowledge the current generation for every member until stable.
+
+    Stands in for the consumers' poll loops: each member syncs the
+    revoke-phase generation, and the last ack promotes the pending target.
+    """
+    for _ in range(8):
+        if coordinator.rebalance_phase(group_id) == PHASE_STABLE:
+            return
+        generation = coordinator.generation(group_id)
+        for member_id in coordinator.members(group_id):
+            coordinator.sync(group_id, member_id, generation)
+    raise AssertionError(f"group {group_id} did not settle")
 
 
 class TestRangeAssign:
@@ -31,6 +53,48 @@ class TestRangeAssign:
         assert range_assign(["a"], []) == {"a": []}
 
 
+class TestStickyAssign:
+    def test_join_moves_only_the_minimal_delta(self):
+        partitions = [("t", i) for i in range(16)]
+        prior = {f"m{i}": partitions[i * 4 : (i + 1) * 4] for i in range(4)}
+        members = list(prior) + ["m4"]
+        target = sticky_cooperative_assign(members, partitions, prior)
+        moved = sum(
+            len(set(prior[m]) - set(target[m])) for m in prior
+        )
+        assert moved <= 4  # ceil(16/4): far below the 16 an eager reshuffle risks
+        for m in prior:  # survivors only ever *lose* partitions, never swap
+            assert set(target[m]) <= set(prior[m])
+        assigned = sorted(tp for tps in target.values() for tp in tps)
+        assert assigned == sorted(partitions)
+        sizes = sorted(len(tps) for tps in target.values())
+        assert sizes[-1] - sizes[0] <= 1
+
+    def test_leave_keeps_survivors_intact(self):
+        partitions = [("t", i) for i in range(9)]
+        prior = {"a": partitions[0:3], "b": partitions[3:6], "c": partitions[6:9]}
+        target = sticky_cooperative_assign(["a", "b"], partitions, prior)
+        assert set(target["a"]) >= set(prior["a"])
+        assert set(target["b"]) >= set(prior["b"])
+        assigned = sorted(tp for tps in target.values() for tp in tps)
+        assert assigned == sorted(partitions)
+
+    def test_under_quota_member_keeps_everything(self):
+        partitions = [("t", i) for i in range(6)]
+        prior = {"a": partitions[:2], "b": []}
+        target = sticky_cooperative_assign(["a", "b", "c"], partitions, prior)
+        assert set(target["a"]) == set(prior["a"])
+
+    def test_vanished_partitions_are_dropped(self):
+        prior = {"a": [("t", 0), ("t", 1), ("t", 2)]}
+        target = sticky_cooperative_assign(["a"], [("t", 0), ("t", 1)], prior)
+        assert sorted(target["a"]) == [("t", 0), ("t", 1)]
+
+    def test_empty_inputs(self):
+        assert sticky_cooperative_assign([], [("t", 0)], {}) == {}
+        assert sticky_cooperative_assign(["a"], [], {"a": [("t", 0)]}) == {"a": []}
+
+
 class TestCoordinator:
     def test_join_assigns_all_partitions_to_single_member(self):
         coordinator = ConsumerGroupCoordinator()
@@ -39,23 +103,66 @@ class TestCoordinator:
         assert generation == 1
         assert sorted(assignment) == partitions
 
-    def test_second_join_rebalances_and_bumps_generation(self):
+    def test_second_join_revokes_then_assigns_cooperatively(self):
         coordinator = ConsumerGroupCoordinator()
         partitions = [("t", i) for i in range(4)]
         m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
-        m2, generation, _ = coordinator.join("g", "c2", ["t"], partitions)
+        before = set(coordinator.assignment("g", m1))
+        m2, generation, a2_initial = coordinator.join("g", "c2", ["t"], partitions)
+        # Revoke phase: the generation bumped, the incumbent shrank to the
+        # partitions it retains and keeps serving them; the new member
+        # waits for the assign phase.
         assert generation == 2
+        assert coordinator.rebalance_phase("g") == PHASE_REVOKING
+        assert a2_initial == []
+        retained = set(coordinator.assignment("g", m1))
+        assert retained < before and len(retained) == 2
+        # Both members acknowledge: the pending target is promoted under a
+        # fresh generation and the freed partitions land on the new member.
+        settle(coordinator, "g")
+        assert coordinator.generation("g") == 3
         a1 = set(coordinator.assignment("g", m1))
         a2 = set(coordinator.assignment("g", m2))
+        assert a1 == retained  # sticky: the incumbent kept what it retained
         assert a1 | a2 == set(partitions)
         assert a1.isdisjoint(a2)
 
-    def test_leave_redistributes_partitions(self):
+    def test_join_during_unacked_revoke_parks_owned_partitions(self):
+        """Regression: a rebalance beginning while a prior revoke phase is
+        still unacknowledged must not treat the laggard's unreleased
+        partitions as free — granting them would create dual ownership
+        and let the laggard's commit-on-revoke rewind the new owner."""
+        coordinator = ConsumerGroupCoordinator()
+        partitions = [("t", i) for i in range(4)]
+        a, _, _ = coordinator.join("g", "a", ["t"], partitions)
+        b, _, _ = coordinator.join("g", "b", ["t"], partitions)
+        coordinator.sync("g", b, coordinator.generation("g"))  # b acks; a lags
+        c, _, _ = coordinator.join("g", "c", ["t"], partitions)
+        coordinator.sync("g", c, coordinator.generation("g"))
+        coordinator.sync("g", b, coordinator.generation("g"))
+        # Everything a may still be fetching stays parked with a.
+        assert coordinator.rebalance_phase("g") == PHASE_REVOKING
+        assert coordinator.assignment("g", b) == []
+        assert coordinator.assignment("g", c) == []
+        # Only once a acknowledges do the freed partitions move.
+        settle(coordinator, "g")
+        described = coordinator.describe("g")["members"]
+        assigned = sorted(tp for tps in described.values() for tp in tps)
+        assert assigned == partitions
+        assert len(described[a]) == 2  # sticky: a kept its quota
+
+    def test_leave_redistributes_partitions_in_one_phase(self):
         coordinator = ConsumerGroupCoordinator()
         partitions = [("t", i) for i in range(4)]
         m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
         m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        settle(coordinator, "g")
+        kept = set(coordinator.assignment("g", m2))
         coordinator.leave("g", m1, partitions)
+        # A graceful leave only frees partitions: no revoke phase, and the
+        # survivor keeps everything it had plus the freed delta.
+        assert coordinator.rebalance_phase("g") == PHASE_STABLE
+        assert kept <= set(coordinator.assignment("g", m2))
         assert sorted(coordinator.assignment("g", m2)) == partitions
 
     def test_heartbeat_with_stale_generation_rejected(self):
@@ -67,15 +174,77 @@ class TestCoordinator:
             coordinator.heartbeat("g", m1, gen1)
 
     def test_expired_members_are_evicted(self):
-        coordinator = ConsumerGroupCoordinator(session_timeout=10.0)
+        clock = ManualClock()
+        coordinator = ConsumerGroupCoordinator(session_timeout=10.0, clock=clock)
         partitions = [("t", 0), ("t", 1)]
         m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
         m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
-        member = coordinator._groups["g"].members[m1]
-        member.last_heartbeat -= 100.0
+        settle(coordinator, "g")
+        clock.advance(5.0)
+        coordinator.heartbeat("g", m2, coordinator.generation("g"))
+        clock.advance(8.0)  # m1's last heartbeat is now 13s old, m2's 8s
         expired = coordinator.expire_members("g", partitions)
         assert expired == [m1]
         assert sorted(coordinator.assignment("g", m2)) == partitions
+
+    def test_generation_read_sweeps_expired_members(self):
+        """Liveness without an external reaper: the generation read the
+        consumers poll evicts members whose session timed out."""
+        clock = ManualClock()
+        coordinator = ConsumerGroupCoordinator(session_timeout=10.0, clock=clock)
+        partitions = [("t", 0), ("t", 1)]
+        m1, _, _ = coordinator.join("g", "c1", ["t"], partitions)
+        m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        settle(coordinator, "g")
+        generation = coordinator.generation("g")
+        sticky_before = set(coordinator.assignment("g", m2))
+        clock.advance(6.0)
+        coordinator.heartbeat("g", m2, generation)
+        clock.advance(6.0)  # m1 silent for 12s > 10s session timeout
+        coordinator.generation("g")
+        assert coordinator.members("g") == [m2]
+        # The dead member's partitions re-stick onto the survivor, which
+        # keeps everything it already had (single-phase rebalance).
+        assert coordinator.rebalance_phase("g") == PHASE_STABLE
+        assert sticky_before <= set(coordinator.assignment("g", m2))
+        assert sorted(coordinator.assignment("g", m2)) == partitions
+
+    def test_per_member_session_timeout_overrides_default(self):
+        clock = ManualClock()
+        coordinator = ConsumerGroupCoordinator(session_timeout=30.0, clock=clock)
+        partitions = [("t", 0), ("t", 1)]
+        m1, _, _ = coordinator.join("g", "c1", ["t"], partitions, session_timeout=5.0)
+        m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        settle(coordinator, "g")
+        clock.advance(6.0)  # beyond m1's 5s timeout, well under m2's 30s default
+        assert coordinator.expire_members("g") == [m1]
+        assert coordinator.members("g") == [m2]
+
+    def test_evicted_member_stale_commit_is_rejected(self):
+        """Coordinator session expiry end to end: the member that missed
+        its heartbeats is evicted, its partitions re-stick to survivors,
+        and any commit it still tries is fenced."""
+        clock = ManualClock()
+        coordinator = ConsumerGroupCoordinator(session_timeout=10.0, clock=clock)
+        partitions = [("t", i) for i in range(4)]
+        m1, gen1, _ = coordinator.join("g", "c1", ["t"], partitions)
+        m2, _, _ = coordinator.join("g", "c2", ["t"], partitions)
+        settle(coordinator, "g")
+        generation = coordinator.generation("g")
+        dead_partitions = set(coordinator.assignment("g", m1))
+        clock.advance(5.0)
+        coordinator.heartbeat("g", m2, generation)
+        clock.advance(7.0)
+        assert coordinator.expire_members("g") == [m1]
+        # Survivor keeps its sticky set and absorbs the dead member's.
+        assert sorted(coordinator.assignment("g", m2)) == partitions
+        assert dead_partitions <= set(coordinator.assignment("g", m2))
+        # The zombie's commit path is fenced at generation validation.
+        with pytest.raises(IllegalGenerationError):
+            coordinator.validate_generation("g", m1, generation)
+        # And so is its heartbeat: it must rejoin as a new member.
+        with pytest.raises(IllegalGenerationError):
+            coordinator.heartbeat("g", m1, generation)
 
     def test_describe_unknown_group(self):
         coordinator = ConsumerGroupCoordinator()

@@ -10,6 +10,7 @@ from repro.fabric import (
     ProducerConfig,
     TopicConfig,
 )
+from repro.common.clock import ManualClock
 from repro.fabric.errors import CommitFailedError, NotLeaderError
 from repro.fabric.partitioner import Partitioner, hash_key
 
@@ -186,10 +187,102 @@ class TestConsumer:
     def test_group_splits_partitions_between_members(self, cluster):
         c1 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="team"))
         c2 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="team"))
-        c1.poll()  # refresh assignment after c2 joined
+        # Cooperative rebalance: c1's poll revokes its excess and promotes
+        # the pending assignment; c2's poll then picks up the freed half.
+        c1.poll()
+        c2.poll()
         a1, a2 = set(c1.assignment()), set(c2.assignment())
         assert a1.isdisjoint(a2)
         assert a1 | a2 == set(cluster.partitions_for("events"))
+
+    def test_rebalance_is_cooperative_and_sticky(self, cluster):
+        """A new member must not disturb the partitions the incumbent
+        retains: only the minimal delta is revoked, and the incumbent
+        keeps fetching its retained partitions mid-rebalance."""
+        producer = FabricProducer(cluster)
+        for partition in range(4):
+            producer.send_batch("events", list(range(4)), partition=partition)
+        revoked, assigned = [], []
+        c1 = FabricConsumer(
+            cluster, ["events"],
+            ConsumerConfig(group_id="coop", enable_auto_commit=False),
+            on_partitions_revoked=revoked.extend,
+            on_partitions_assigned=assigned.extend,
+        )
+        before = set(c1.assignment())
+        assert len(before) == 4 and assigned == sorted(before)
+        c2 = FabricConsumer(
+            cluster, ["events"],
+            ConsumerConfig(group_id="coop", enable_auto_commit=False),
+        )
+        # Mid-rebalance (revoke phase adopted on this poll) c1 still
+        # serves its retained partitions — they never stall.
+        batches = c1.poll()
+        retained = set(c1.assignment())
+        assert retained < before and len(retained) == 2
+        assert set(batches) == retained
+        assert sorted(revoked) == sorted(before - retained)
+        # Once both members have polled the group settles: c1 keeps its
+        # retained set untouched, c2 owns exactly the revoked delta.
+        c2.poll()
+        c1.poll()
+        assert set(c1.assignment()) == retained
+        assert set(c2.assignment()) == before - retained
+        assert c1.metrics.partitions_revoked == 2
+
+    def test_laggard_commit_on_revoke_cannot_rewind_new_owner(self, cluster):
+        """Regression: partitions a slow consumer has not yet released must
+        not be granted to newer members — the laggard's commit-on-revoke
+        would otherwise land after (and rewind) the new owner's commits."""
+        producer = FabricProducer(cluster)
+        for partition in range(4):
+            producer.send_batch("events", list(range(8)), partition=partition)
+        c1 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="lag2"))
+        while c1.poll_flat():
+            pass  # positions at 8 everywhere, nothing committed yet
+        c2 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="lag2"))
+        c3 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="lag2"))
+        # c1 has not acknowledged: newer members poll but receive nothing.
+        c2.poll()
+        c3.poll()
+        assert c2.assignment() == [] and c3.assignment() == []
+        # c1 acks on its poll; its commit-on-revoke lands *before* any
+        # grant, so the new owners resume from 8 — never behind.
+        c1.poll()
+        c2.poll()
+        c3.poll()
+        owned = set(c1.assignment()) | set(c2.assignment()) | set(c3.assignment())
+        assert owned == set(cluster.partitions_for("events"))
+        for consumer in (c2, c3):
+            for topic, partition in consumer.assignment():
+                assert cluster.offsets.committed("lag2", topic, partition) == 8
+            assert consumer.lag() == 0  # resumed, not rewound
+
+    def test_consumer_close_survives_topic_deletion(self, cluster):
+        """Regression: close() used to look the topic's partitions up and
+        crash with UnknownTopicError, leaking the group membership."""
+        consumer = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="bye"))
+        cluster.admin().delete_topic("events")
+        consumer.close()
+        assert cluster.groups.members("bye") == []
+
+    def test_commit_on_revoke_preserves_progress(self, cluster):
+        """An auto-committing consumer commits revoked partitions as it
+        gives them up, so the new owner resumes instead of re-reading."""
+        producer = FabricProducer(cluster)
+        for partition in range(4):
+            producer.send_batch("events", list(range(6)), partition=partition)
+        c1 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="hand"))
+        while c1.poll_flat():
+            pass  # positions now at the end of every partition
+        c2 = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="hand"))
+        c1.poll()  # adopt the revoke phase: commits the revoked half
+        c2.poll()
+        c2.poll()  # assign phase: c2 owns the revoked partitions
+        assert set(c2.assignment())
+        for topic, partition in c2.assignment():
+            assert cluster.offsets.committed("hand", topic, partition) == 6
+        assert c2.lag() == 0  # nothing is re-read: progress survived the move
 
     def test_two_groups_both_receive_all_events(self, cluster):
         producer = FabricProducer(cluster)
@@ -235,6 +328,9 @@ class TestConsumer:
             cluster, ["events"],
             ConsumerConfig(group_id="reb", enable_auto_commit=False),
         )
+        # c1 acknowledges the revocation, which completes the cooperative
+        # rebalance and hands c2 its half of the partitions.
+        c1.poll_flat(max_records=1)
         # c2 drains its half of the partitions and commits the end offsets.
         while c2.poll_flat():
             pass
@@ -254,3 +350,90 @@ class TestConsumer:
         consumer.close()
         with pytest.raises(RuntimeError):
             consumer.poll()
+
+
+class TestConsumerLiveness:
+    """Clock-driven heartbeats, session expiry and zombie fencing."""
+
+    def make_pair(self, clock):
+        cluster = FabricCluster(num_brokers=2, clock=clock)
+        cluster.admin().create_topic(
+            "events", TopicConfig(num_partitions=4, replication_factor=2)
+        )
+        config = ConsumerConfig(
+            group_id="live",
+            enable_auto_commit=False,
+            heartbeat_interval_seconds=3.0,
+            session_timeout_seconds=10.0,
+        )
+        c1 = FabricConsumer(cluster, ["events"], config, clock=clock)
+        c2 = FabricConsumer(cluster, ["events"], config, clock=clock)
+        c1.poll()
+        c2.poll()
+        assert len(c1.assignment()) == 2 and len(c2.assignment()) == 2
+        return cluster, c1, c2
+
+    def test_heartbeat_interval_must_beat_effective_session_timeout(self):
+        """Regression: with session_timeout_seconds unset, the coordinator
+        default (30s) applies — a longer heartbeat interval would have the
+        member evicted and rejoining forever despite being healthy."""
+        cluster = FabricCluster(num_brokers=1)
+        cluster.admin().create_topic("events", TopicConfig(num_partitions=1))
+        with pytest.raises(ValueError):
+            FabricConsumer(
+                cluster, ["events"],
+                ConsumerConfig(heartbeat_interval_seconds=45.0),
+            )
+
+    def test_consumers_inherit_the_cluster_clock_by_default(self):
+        """Regression: heartbeat pacing must share the coordinator's time
+        base — a consumer on wall time against a ManualClock coordinator
+        would be evicted despite polling diligently."""
+        clock = ManualClock()
+        cluster = FabricCluster(num_brokers=1, clock=clock)
+        cluster.admin().create_topic("events", TopicConfig(num_partitions=2))
+        consumer = FabricConsumer(cluster, ["events"], ConsumerConfig(group_id="tick"))
+        for _ in range(4):
+            clock.advance(20.0)  # far beyond the 30s default session timeout
+            consumer.poll()
+        assert consumer.metrics.heartbeats == 4
+        assert cluster.groups.members("tick") == [consumer.member_id]
+        consumer.close()
+
+    def test_polling_consumers_heartbeat_on_the_injected_clock(self):
+        clock = ManualClock()
+        cluster, c1, c2 = self.make_pair(clock)
+        for _ in range(4):
+            clock.advance(4.0)
+            c1.poll()
+            c2.poll()
+        assert c1.metrics.heartbeats == 4 and c2.metrics.heartbeats == 4
+        assert cluster.groups.members("live") == sorted(
+            [c1.member_id, c2.member_id]
+        )
+
+    def test_silent_member_is_evicted_and_its_partitions_restick(self):
+        clock = ManualClock()
+        cluster, c1, c2 = self.make_pair(clock)
+        survivor_before = set(c2.assignment())
+        # c1 goes silent; c2 keeps polling past c1's session timeout.
+        for _ in range(4):
+            clock.advance(4.0)
+            c2.poll()
+        assert cluster.groups.members("live") == [c2.member_id]
+        c2.poll()
+        # Sticky re-assignment: the survivor kept everything it had and
+        # absorbed the dead member's partitions.
+        assert survivor_before <= set(c2.assignment())
+        assert sorted(c2.assignment()) == cluster.partitions_for("events")
+        # The zombie's stale-generation commit is fenced...
+        with pytest.raises(CommitFailedError):
+            c1.commit()
+        # ...but its next poll rejoins it as a fresh member.
+        c1.poll()
+        c2.poll()
+        c1.poll()
+        assert len(cluster.groups.members("live")) == 2
+        a1, a2 = set(c1.assignment()), set(c2.assignment())
+        assert a1.isdisjoint(a2)
+        assert a1 | a2 == set(cluster.partitions_for("events"))

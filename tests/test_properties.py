@@ -1,9 +1,16 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import itertools
+
 from hypothesis import given, settings, strategies as st
 
 from repro.auth.acl import AclStore, Operation
-from repro.fabric.group import range_assign
+from repro.fabric.group import (
+    PHASE_STABLE,
+    ConsumerGroupCoordinator,
+    range_assign,
+    sticky_cooperative_assign,
+)
 from repro.fabric.partition import PartitionLog
 from repro.fabric.record import EventRecord
 from repro.fabric.retention import compact
@@ -87,6 +94,89 @@ def test_range_assignment_is_a_partition_of_the_partitions(members, num_partitio
     sizes = sorted(len(tps) for tps in assignment.values())
     if sizes:
         assert sizes[-1] - sizes[0] <= 1                   # balanced within one
+
+
+# --------------------------------------------------------------------------- #
+# Cooperative sticky assignment invariants
+#
+# These two properties deliberately do NOT pin max_examples: the nightly
+# CI soak job (HYPOTHESIS_PROFILE=soak, see tests/conftest.py) raises the
+# budget to hammer exactly these invariants.
+# --------------------------------------------------------------------------- #
+join_leave_ops = st.lists(
+    st.one_of(st.just("join"), st.integers(min_value=0, max_value=9)),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(st.integers(min_value=0, max_value=40), join_leave_ops)
+@settings(deadline=None)
+def test_sticky_assignment_invariants_over_join_leave_sequences(num_partitions, ops):
+    """For any join/leave sequence: the union stays an exact duplicate-free
+    partition cover, every member's retained set is a subset of its prior
+    assignment, nobody is revoked below the floor quota, and sizes stay
+    balanced within one."""
+    partitions = [("topic", i) for i in range(num_partitions)]
+    partition_set = set(partitions)
+    counter = itertools.count()
+    members: list = []
+    prior: dict = {}
+    for op in ops:
+        if op == "join":
+            members.append(f"m{next(counter)}")
+        elif members:
+            prior.pop(members.pop(op % len(members)), None)
+        if not members:
+            prior = {}
+            continue
+        target = sticky_cooperative_assign(members, partitions, prior)
+        assert sorted(target) == sorted(members)
+        assigned = [tp for tps in target.values() for tp in tps]
+        assert sorted(assigned) == sorted(partitions)  # exact cover ...
+        assert len(assigned) == len(set(assigned))     # ... no duplicates
+        floor_quota = num_partitions // len(members)
+        for member in members:
+            new = set(target[member])
+            old = set(prior.get(member, ())) & partition_set
+            retained = new & old
+            assert retained <= old  # stickiness: retained ⊆ prior
+            # Minimal revocation: a member only sheds what its quota forces;
+            # anyone at or below the floor quota keeps everything.
+            assert len(old - new) <= max(0, len(old) - floor_quota)
+        sizes = sorted(len(tps) for tps in target.values())
+        assert sizes[-1] - sizes[0] <= 1
+        prior = target
+
+
+@given(st.integers(min_value=1, max_value=16), join_leave_ops)
+@settings(deadline=None)
+def test_cooperative_protocol_converges_to_an_exact_cover(num_partitions, ops):
+    """Driving the coordinator itself through any join/leave sequence and
+    letting every member acknowledge (as polling consumers do) always
+    settles into a stable generation whose assignments exactly cover the
+    partitions."""
+    coordinator = ConsumerGroupCoordinator()
+    partitions = [("t", i) for i in range(num_partitions)]
+    members: list = []
+    for op in ops:
+        if op == "join" or not members:
+            member_id, _, _ = coordinator.join("g", "c", ["t"], partitions)
+            members.append(member_id)
+        else:
+            coordinator.leave("g", members.pop(op % len(members)), partitions)
+        if not members:
+            continue
+        for _ in range(4):  # settle: each member acks, last ack promotes
+            if coordinator.rebalance_phase("g") == PHASE_STABLE:
+                break
+            generation = coordinator.generation("g")
+            for member_id in members:
+                coordinator.sync("g", member_id, generation)
+        assert coordinator.rebalance_phase("g") == PHASE_STABLE
+        described = coordinator.describe("g")["members"]
+        assigned = sorted(tp for tps in described.values() for tp in tps)
+        assert assigned == sorted(partitions)
 
 
 # --------------------------------------------------------------------------- #
