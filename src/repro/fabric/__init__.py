@@ -5,7 +5,9 @@ Kafka hosted on AWS MSK).  It provides an in-process, thread-safe
 implementation of the parts of Kafka the paper's evaluation and
 applications exercise:
 
-* append-only partition logs with strictly increasing offsets,
+* append-only partition logs with strictly increasing offsets, stored as
+  Kafka-style segments (an active segment plus sealed, immutable ones) so
+  retention drops whole segments and reads skip the append lock,
 * topics composed of one or more partitions with a replication factor,
 * a cluster of brokers with leader election and in-sync replica (ISR)
   tracking, plus an explicit admin (control-plane) client —
@@ -20,7 +22,7 @@ applications exercise:
 """
 
 from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
-from repro.fabric.partition import PartitionLog
+from repro.fabric.partition import LogSegment, PartitionLog
 from repro.fabric.topic import Topic, TopicConfig
 from repro.fabric.broker import Broker
 from repro.fabric.admin import FabricAdmin
@@ -45,6 +47,7 @@ __all__ = [
     "EventRecord",
     "RecordBatch",
     "RecordMetadata",
+    "LogSegment",
     "PartitionLog",
     "Topic",
     "TopicConfig",

@@ -147,9 +147,7 @@ class FabricAdmin:
         replicas = [broker_ids[(start + i) % len(broker_ids)] for i in range(rf)]
         for broker_id in replicas:
             c._brokers[broker_id].create_replica(
-                topic.name,
-                partition,
-                max_message_bytes=topic.config.max_message_bytes,
+                topic.name, partition, **topic.config.log_kwargs()
             )
         assignment = PartitionAssignment(
             topic=topic.name, partition=partition, replicas=replicas, leader=replicas[0]
@@ -247,6 +245,31 @@ class FabricAdmin:
     def describe_topic(self, name: str) -> dict:
         self._authorize("DESCRIBE", f"topic:{name}")
         return self._cluster.topic(name).describe()
+
+    def describe_segments(self, name: str, partition: Optional[int] = None) -> dict:
+        """Per-partition storage-segment layout of a topic's canonical logs.
+
+        Returns, per partition, the log start/end offsets, retained byte
+        count and every segment's ``{base_offset, end_offset, records,
+        size_bytes, min_append_time, max_append_time, sealed, contiguous}``
+        — the operator's view of what a retention run would drop whole and
+        where the active segment sits.  Pass ``partition`` to restrict the
+        answer to one partition.
+        """
+        self._authorize("DESCRIBE", f"topic:{name}")
+        topic = self._cluster.topic(name)
+        indices = [partition] if partition is not None else sorted(topic.partitions())
+        partitions = {}
+        for index in indices:
+            log = topic.partition(index)
+            partitions[index] = {
+                "log_start_offset": log.log_start_offset,
+                "log_end_offset": log.log_end_offset,
+                "size_bytes": log.size_bytes,
+                "num_segments": log.num_segments,
+                "segments": log.describe_segments(),
+            }
+        return {"topic": name, "partitions": partitions}
 
     def list_topics(self) -> List[str]:
         self._authorize("DESCRIBE", "cluster")

@@ -70,14 +70,29 @@ class Broker:
     # Replica management
     # ------------------------------------------------------------------ #
     def create_replica(
-        self, topic: str, partition: int, *, max_message_bytes: int = 8 * 1024 * 1024
+        self,
+        topic: str,
+        partition: int,
+        *,
+        max_message_bytes: int = 8 * 1024 * 1024,
+        segment_records: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
     ) -> PartitionLog:
-        """Create (or return the existing) local replica for a partition."""
+        """Create (or return the existing) local replica for a partition.
+
+        ``segment_records``/``segment_bytes`` set the replica log's
+        storage-segment roll thresholds (``None`` = log defaults); they are
+        applied only when the replica is first created.
+        """
         with self._lock:
             key = (topic, partition)
             if key not in self._replicas:
                 self._replicas[key] = PartitionLog(
-                    topic, partition, max_message_bytes=max_message_bytes
+                    topic,
+                    partition,
+                    max_message_bytes=max_message_bytes,
+                    segment_records=segment_records,
+                    segment_bytes=segment_bytes,
                 )
             return self._replicas[key]
 

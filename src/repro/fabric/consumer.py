@@ -49,7 +49,11 @@ class ConsumerConfig:
     ``receive_buffer_bytes`` defaults to the 2 MB the paper's evaluation
     uses (Section V-B) and caps each poll's fetch session as a whole;
     ``auto_offset_reset`` selects earliest/latest behaviour when the group
-    has no committed offset.  ``prefetch`` enables the background prefetch
+    has no committed offset; with ``"timestamp"``, ``start_timestamp`` is
+    matched against the broker-assigned **append time** (which the log
+    keeps monotone), not the client-supplied record timestamp — see
+    :meth:`PartitionLog.offset_for_timestamp`.  ``prefetch`` enables the
+    background prefetch
     thread: while the application processes one batch, the next fetch is
     already in flight.  ``heartbeat_interval_seconds`` paces the liveness
     heartbeats each poll sends to the group coordinator (driven by the

@@ -1,25 +1,247 @@
-"""Append-only partition logs.
+"""Append-only partition logs on segmented storage.
 
 A partition is the unit of ordering, parallelism and replication in the
 fabric.  Each partition is a strictly ordered, append-only log of
 :class:`~repro.fabric.record.StoredRecord`; offsets are assigned
 contiguously starting from the log start offset.  Retention and compaction
 may advance the log start offset, but never reorder or renumber records.
+
+Storage is Kafka-style **segmented**: one mutable *active* segment takes
+appends, behind it sits a list of *sealed*, immutable segments.  Each
+segment carries its base offset, cached byte size, min/max append time
+and (for compaction-gapped segments) a sparse offset index, which buys
+the hot paths their complexity budget:
+
+* **Retention is O(segments), not O(records)** — ``truncate_before``
+  drops whole sealed segments by pointer and rebuilds at most the one
+  boundary segment; time/size cutoffs are found from per-segment bounds
+  with only the boundary segment scanned.
+* **Reads are lock-split** — sealed segments are immutable and the
+  segment list is swapped atomically, so fetches snapshot the list and
+  serve without touching the write lock; appends only ever extend the
+  active segment's record list (safe to slice concurrently under
+  CPython).  The single write lock covers appends, sealing, truncation
+  and compaction.
+* **Size accounting is O(segments)** — ``size_bytes`` sums cached
+  per-segment counters instead of re-walking every retained record.
+* **Timestamp lookup binary-searches** per-segment time bounds, then one
+  segment's records, instead of rebuilding a full timestamp list.
 """
 
 from __future__ import annotations
 
 import bisect
+import itertools
 import threading
 import time
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.fabric.errors import OffsetOutOfRangeError, RecordTooLargeError
 from repro.fabric.record import EventRecord, StoredRecord
 
+#: Default roll thresholds: the active segment is sealed once it holds
+#: this many records or bytes.  Small enough that seven-day retention
+#: over a busy partition drops *whole* segments, large enough that the
+#: per-segment overhead is negligible next to the records themselves.
+DEFAULT_SEGMENT_RECORDS = 4096
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: Sparse-index granularity for compaction-gapped sealed segments: one
+#: index entry per this many records, so a lookup bisects the index and
+#: scans at most this many records.
+_INDEX_INTERVAL = 64
+
+
+def _base_offset(segment: "LogSegment") -> int:
+    return segment.base_offset
+
+
+def _max_append_time(segment: "LogSegment") -> float:
+    return segment.max_append_time
+
+
+def _append_time(stored: StoredRecord) -> float:
+    return stored.append_time
+
+
+class LogSegment:
+    """One contiguous run of a partition's records.
+
+    A segment is *active* (mutable list of records, appended to under the
+    log's write lock, always offset-contiguous) until the log seals it,
+    after which it is immutable: its records become a tuple and — if
+    compaction ever punched offset gaps into it — a sparse offset index
+    is built for :meth:`locate`.  Readers may hold a reference across a
+    seal; both representations serve the same slicing protocol.
+
+    ``min_append_time``/``max_append_time`` are *conservative covers* of
+    the records' append times (exact until the segment is sliced at a
+    truncation boundary, which inherits the parent's bounds rather than
+    re-walking the kept records); the time searches treat them as covers
+    and stay exact.
+    """
+
+    __slots__ = (
+        "base_offset",
+        "end_offset",
+        "records",
+        "size_bytes",
+        "min_append_time",
+        "max_append_time",
+        "sealed",
+        "contiguous",
+        "_index",
+    )
+
+    def __init__(self, base_offset: int) -> None:
+        self.base_offset = base_offset
+        #: Offset the next record after this segment would take
+        #: (``records[-1].offset + 1`` once non-empty).
+        self.end_offset = base_offset
+        self.records: Sequence[StoredRecord] = []
+        self.size_bytes = 0
+        self.min_append_time: float = 0.0
+        self.max_append_time: float = 0.0
+        self.sealed = False
+        self.contiguous = True
+        self._index: Optional[Tuple[int, ...]] = None
+
+    @classmethod
+    def sealed_from(cls, records: Sequence[StoredRecord]) -> "LogSegment":
+        """Build an immutable segment from a non-empty, offset-ordered run."""
+        records = tuple(records)
+        segment = cls(records[0].offset)
+        segment.records = records
+        segment.end_offset = records[-1].offset + 1
+        size = 0
+        low = high = records[0].append_time
+        for stored in records:  # one pass: bytes and time bounds together
+            size += stored.size_bytes()
+            when = stored.append_time
+            if when < low:
+                low = when
+            elif when > high:
+                high = when
+        segment.size_bytes = size
+        segment.min_append_time = low
+        segment.max_append_time = high
+        segment.contiguous = (
+            records[-1].offset - records[0].offset == len(records) - 1
+        )
+        segment.seal()
+        return segment
+
+    def seal(self) -> None:
+        """Freeze the segment: records become a tuple, gapped segments
+        get their sparse offset index.  Holders of the old list keep a
+        valid (identical) view."""
+        self.records = tuple(self.records)
+        if not self.contiguous:
+            self._index = tuple(
+                self.records[i].offset
+                for i in range(0, len(self.records), _INDEX_INTERVAL)
+            )
+        self.sealed = True
+
+    # -- mutation (caller holds the owning log's write lock) ----------- #
+    def append(self, stored: StoredRecord) -> None:
+        if not self.records:
+            self.base_offset = stored.offset
+            self.min_append_time = stored.append_time
+            self.max_append_time = stored.append_time
+        else:
+            when = stored.append_time
+            if when < self.min_append_time:
+                self.min_append_time = when
+            if when > self.max_append_time:
+                self.max_append_time = when
+        self.records.append(stored)
+        self.end_offset = stored.offset + 1
+        self.size_bytes += stored.size_bytes()
+
+    def extend_batch(
+        self, stored: List[StoredRecord], batch_bytes: int, when: float
+    ) -> None:
+        """Adopt a whole same-append-time batch in one list extend."""
+        if not self.records:
+            self.base_offset = stored[0].offset
+            self.min_append_time = when
+            self.max_append_time = when
+        else:
+            if when < self.min_append_time:
+                self.min_append_time = when
+            if when > self.max_append_time:
+                self.max_append_time = when
+        self.records.extend(stored)
+        self.end_offset = stored[-1].offset + 1
+        self.size_bytes += batch_bytes
+
+    # -- lookup (safe without the write lock) -------------------------- #
+    def locate(self, offset: int) -> int:
+        """Index of the first record with offset >= ``offset``.
+
+        O(1) for contiguous segments; gapped (compacted) segments bisect
+        the sparse index and scan at most ``_INDEX_INTERVAL`` records.
+        """
+        if self.contiguous:
+            position = offset - self.base_offset
+            return 0 if position < 0 else position
+        position = 0
+        index = self._index
+        if index:
+            entry = bisect.bisect_right(index, offset) - 1
+            if entry > 0:
+                position = entry * _INDEX_INTERVAL
+        records = self.records
+        length = len(records)
+        while position < length and records[position].offset < offset:
+            position += 1
+        return position
+
+    def slice_from(self, position: int) -> "LogSegment":
+        """New segment holding ``records[position:]`` (truncation boundary).
+
+        Byte accounting scans only the *smaller* of the dropped/kept sides
+        (subtracting from the cached total otherwise), and the time bounds
+        are inherited from the parent as a **conservative cover** — the
+        time searches tolerate covers by falling through to the next
+        segment, so the boundary rebuild never re-walks the whole segment.
+        """
+        kept = self.records[position:]
+        fresh = LogSegment(kept[0].offset)
+        fresh.end_offset = kept[-1].offset + 1
+        if position * 2 <= len(self.records):
+            fresh.size_bytes = self.size_bytes - sum(
+                stored.size_bytes() for stored in self.records[:position]
+            )
+        else:
+            fresh.size_bytes = sum(stored.size_bytes() for stored in kept)
+        fresh.min_append_time = self.min_append_time
+        fresh.max_append_time = self.max_append_time
+        fresh.contiguous = kept[-1].offset - kept[0].offset == len(kept) - 1
+        if self.sealed:
+            fresh.records = kept  # already an immutable tuple slice
+            fresh.seal()
+        else:
+            fresh.records = list(kept)
+        return fresh
+
+    def describe(self) -> dict:
+        records = self.records
+        return {
+            "base_offset": self.base_offset,
+            "end_offset": self.end_offset,
+            "records": len(records),
+            "size_bytes": self.size_bytes,
+            "min_append_time": self.min_append_time if records else None,
+            "max_append_time": self.max_append_time if records else None,
+            "sealed": self.sealed,
+            "contiguous": self.contiguous,
+        }
+
 
 class PartitionLog:
-    """A single partition's log, with thread-safe append and fetch.
+    """A single partition's segmented log: thread-safe append and fetch.
 
     Parameters
     ----------
@@ -30,6 +252,20 @@ class PartitionLog:
     max_message_bytes:
         Per-record size limit; appends of larger records raise
         :class:`~repro.fabric.errors.RecordTooLargeError`.
+    segment_records / segment_bytes:
+        Active-segment roll thresholds; ``None`` selects the module
+        defaults.  Smaller segments make retention finer-grained, larger
+        ones reduce per-segment overhead.
+
+    Concurrency model (the lock split): one write lock serializes every
+    mutation — appends to the active segment, sealing, truncation,
+    compaction and the atomic swap of the segment tuple.  Read paths
+    (``fetch``/``fetch_with_usage``, ``offset_for_timestamp``,
+    ``size_bytes``, ``read_all``) never take it: they snapshot
+    ``_next_offset`` *then* the segment tuple (appends publish records
+    before advancing ``_next_offset``, so every offset below the snapshot
+    is reachable) and serve from immutable sealed segments plus the
+    append-only active record list.
     """
 
     def __init__(
@@ -38,31 +274,42 @@ class PartitionLog:
         partition: int,
         *,
         max_message_bytes: int = 8 * 1024 * 1024,
+        segment_records: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
     ) -> None:
         self.topic = topic
         self.partition = partition
         self.max_message_bytes = int(max_message_bytes)
-        self._records: list[StoredRecord] = []
+        self.segment_records = (
+            int(segment_records) if segment_records is not None else DEFAULT_SEGMENT_RECORDS
+        )
+        self.segment_bytes = (
+            int(segment_bytes) if segment_bytes is not None else DEFAULT_SEGMENT_BYTES
+        )
+        if self.segment_records < 1:
+            raise ValueError("segment_records must be >= 1")
+        if self.segment_bytes < 1:
+            raise ValueError("segment_bytes must be >= 1")
+        self._segments: Tuple[LogSegment, ...] = (LogSegment(0),)
         self._log_start_offset = 0
         self._next_offset = 0
         self._lock = threading.RLock()
         self._total_appended = 0
         self._total_bytes = 0
+        self._last_append_time = 0.0
 
     # ------------------------------------------------------------------ #
     # Offsets
     # ------------------------------------------------------------------ #
     @property
     def log_start_offset(self) -> int:
-        """First offset still retained in the log."""
-        with self._lock:
-            return self._log_start_offset
+        """First offset still retained in the log (lock-free read)."""
+        return self._log_start_offset
 
     @property
     def log_end_offset(self) -> int:
-        """Offset that the *next* appended record will receive."""
-        with self._lock:
-            return self._next_offset
+        """Offset that the *next* appended record will receive (lock-free)."""
+        return self._next_offset
 
     @property
     def high_watermark(self) -> int:
@@ -71,13 +318,13 @@ class PartitionLog:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._records)
+            return sum(len(segment.records) for segment in self._segments)
 
     @property
     def size_bytes(self) -> int:
-        """Total bytes currently retained."""
-        with self._lock:
-            return sum(r.size_bytes() for r in self._records)
+        """Total bytes currently retained: a sum of cached per-segment
+        counters, O(segments) instead of a walk over every record."""
+        return sum(segment.size_bytes for segment in self._segments)
 
     @property
     def total_appended(self) -> int:
@@ -89,6 +336,47 @@ class PartitionLog:
     def total_bytes_appended(self) -> int:
         with self._lock:
             return self._total_bytes
+
+    # ------------------------------------------------------------------ #
+    # Segment lifecycle (callers hold the write lock)
+    # ------------------------------------------------------------------ #
+    def _should_roll(self, active: LogSegment) -> bool:
+        return bool(active.records) and (
+            len(active.records) >= self.segment_records
+            or active.size_bytes >= self.segment_bytes
+        )
+
+    def _roll_active(self, base_offset: int) -> LogSegment:
+        """Seal the active segment and open a fresh one at ``base_offset``."""
+        self._segments[-1].seal()
+        fresh = LogSegment(base_offset)
+        self._segments = self._segments + (fresh,)
+        return fresh
+
+    def _assign_time(self, append_time: Optional[float]) -> float:
+        """Log append time: monotone non-decreasing when log-assigned.
+
+        Callers supplying an explicit ``append_time`` (retention tests,
+        follower adoption) are trusted to keep it non-decreasing — the
+        time-bound searches assume it.
+        """
+        if append_time is None:
+            when = time.time()
+            if when < self._last_append_time:
+                when = self._last_append_time
+        else:
+            when = append_time
+        if when > self._last_append_time:
+            self._last_append_time = when
+        return when
+
+    def describe_segments(self) -> List[dict]:
+        """Per-segment introspection (base/end offset, size, time bounds)."""
+        return [segment.describe() for segment in self._segments]
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
 
     # ------------------------------------------------------------------ #
     # Append / fetch
@@ -106,10 +394,13 @@ class PartitionLog:
             stored = StoredRecord(
                 offset=offset,
                 record=record,
-                append_time=append_time if append_time is not None else time.time(),
+                append_time=self._assign_time(append_time),
             )
-            self._records.append(stored)
-            self._next_offset += 1
+            active = self._segments[-1]
+            if self._should_roll(active):
+                active = self._roll_active(offset)
+            active.append(stored)
+            self._next_offset = offset + 1
             self._total_appended += 1
             self._total_bytes += size
             return offset
@@ -122,7 +413,9 @@ class PartitionLog:
         The batch is atomic: sizes are validated up front, so either every
         record receives a contiguous offset or none does.  This is the leader
         half of the batched produce path — one lock round-trip per batch
-        instead of one per record.
+        instead of one per record.  A batch that fits the active segment is
+        adopted in a single list extend; oversize batches roll segments as
+        they go.
         """
         records = list(records)
         if not records:
@@ -134,17 +427,31 @@ class PartitionLog:
                     f"record of {size} B exceeds max.message.bytes="
                     f"{self.max_message_bytes} for {self.topic}-{self.partition}"
                 )
+        batch_bytes = sum(sizes)
         with self._lock:
-            when = append_time if append_time is not None else time.time()
+            when = self._assign_time(append_time)
             base = self._next_offset
             offsets = list(range(base, base + len(records)))
-            self._records.extend(
+            stored = [
                 StoredRecord(offset=offset, record=record, append_time=when)
                 for offset, record in zip(offsets, records)
-            )
+            ]
+            active = self._segments[-1]
+            if self._should_roll(active):
+                active = self._roll_active(base)
+            if (
+                len(active.records) + len(stored) <= self.segment_records
+                and active.size_bytes + batch_bytes <= self.segment_bytes
+            ):
+                active.extend_batch(stored, batch_bytes, when)
+            else:
+                for item in stored:
+                    if self._should_roll(active):
+                        active = self._roll_active(item.offset)
+                    active.append(item)
             self._next_offset = base + len(records)
             self._total_appended += len(records)
-            self._total_bytes += sum(sizes)
+            self._total_bytes += batch_bytes
             return offsets
 
     def append_stored(self, records: Iterable[StoredRecord]) -> int:
@@ -152,17 +459,29 @@ class PartitionLog:
 
         Records at offsets the replica already holds are skipped; the rest
         are appended under one lock acquisition, preserving the leader's
-        offsets (including any compaction gaps).  Returns the new log end
+        offsets.  A leader-side compaction gap rolls the active segment so
+        the active segment stays offset-contiguous (gaps live only between
+        segments or inside sealed, indexed ones).  Returns the new log end
         offset.
         """
         with self._lock:
             fresh = [s for s in records if s.offset >= self._next_offset]
             if not fresh:
                 return self._next_offset
-            self._records.extend(fresh)
-            self._next_offset = fresh[-1].offset + 1
+            active = self._segments[-1]
+            added_bytes = 0
+            for stored in fresh:
+                if self._should_roll(active) or (
+                    active.records and stored.offset != active.end_offset
+                ):
+                    active = self._roll_active(stored.offset)
+                active.append(stored)
+                self._next_offset = stored.offset + 1
+                added_bytes += stored.size_bytes()
+                if stored.append_time > self._last_append_time:
+                    self._last_append_time = stored.append_time
             self._total_appended += len(fresh)
-            self._total_bytes += sum(s.size_bytes() for s in fresh)
+            self._total_bytes += added_bytes
             return self._next_offset
 
     def fetch(
@@ -194,74 +513,220 @@ class PartitionLog:
         across the whole session instead of granting ``max_bytes`` to each
         partition independently.  With ``max_bytes=None`` no budget exists
         and the reported usage is ``0`` (the replication fast path keeps
-        its plain slice, paying nothing for accounting).
+        its plain slices, paying nothing for accounting).
+
+        Runs entirely without the write lock: the segment tuple is
+        snapshotted and sealed segments are immutable, so fetches of old
+        data never contend with appends.
         """
-        with self._lock:
-            if offset == self._next_offset:
-                return [], 0
-            if offset < self._log_start_offset or offset > self._next_offset:
-                raise OffsetOutOfRangeError(
-                    f"offset {offset} out of range "
-                    f"[{self._log_start_offset}, {self._next_offset}] "
-                    f"for {self.topic}-{self.partition}"
-                )
-            index = self._index_of(offset)
-            if max_bytes is None:
-                # No byte budget: a plain slice (the replication fast path).
-                return self._records[index : index + max_records], 0
-            out = []
-            budget = max_bytes
-            for stored in self._records[index:]:
+        end = self._next_offset
+        if offset == end:
+            return [], 0
+        # Snapshot the segment tuple *before* reading the start offset: a
+        # truncation that lands in between raises out-of-range (as the
+        # locked flat implementation did), while one that lands after is
+        # served consistently from this snapshot — its dropped segments
+        # are still referenced here.  Reading the start first instead
+        # would pass the range check and then silently serve from the
+        # post-truncation segments at a far later offset.
+        segments = self._segments
+        start = self._log_start_offset
+        if offset < start or offset > end:
+            raise OffsetOutOfRangeError(
+                f"offset {offset} out of range "
+                f"[{start}, {end}] "
+                f"for {self.topic}-{self.partition}"
+            )
+        first = bisect.bisect_right(segments, offset, key=_base_offset) - 1
+        if first < 0:
+            first = 0
+        position = segments[first].locate(offset)
+        out: list[StoredRecord] = []
+        if max_bytes is None:
+            # No byte budget: plain slices (the replication fast path).
+            needed = max_records
+            for segment in segments[first:]:
+                records = segment.records
+                if position < len(records):
+                    taken = records[position : position + needed]
+                    out.extend(taken)
+                    needed -= len(taken)
+                    if needed <= 0:
+                        break
+                position = 0
+            return out, 0
+        budget = max_bytes
+        for segment in segments[first:]:
+            records = segment.records
+            length = len(records)
+            while position < length:
                 if len(out) >= max_records:
-                    break
+                    return out, max_bytes - budget
+                stored = records[position]
                 size = stored.size_bytes()
                 if out and size > budget:
-                    break
+                    return out, max_bytes - budget
                 out.append(stored)
                 budget -= size
-            return out, max_bytes - budget
+                position += 1
+            position = 0
+        return out, max_bytes - budget
 
     def read_all(self) -> Sequence[StoredRecord]:
         """Snapshot of every retained record (testing/persistence helper)."""
-        with self._lock:
-            return tuple(self._records)
+        return tuple(
+            itertools.chain.from_iterable(
+                segment.records for segment in self._segments
+            )
+        )
 
     def __iter__(self) -> Iterator[StoredRecord]:
         return iter(self.read_all())
 
     def offset_for_timestamp(self, timestamp: float) -> Optional[int]:
-        """Earliest offset whose record timestamp is >= ``timestamp``.
+        """Earliest offset whose **append time** is >= ``timestamp``.
 
         Supports the "consume after a certain timestamp" mode described in
-        Section IV-F.  Returns ``None`` when every retained record is older.
+        Section IV-F.  The search runs on the log-assigned append time —
+        which this log keeps monotonically non-decreasing — *not* on the
+        client-supplied ``record.timestamp``, which carries no ordering
+        guarantee (producers may ship arbitrary or out-of-order
+        timestamps).  Binary-searches per-segment time bounds, then one
+        segment's records.  Returns ``None`` when every retained record is
+        older than ``timestamp``.
         """
-        with self._lock:
-            timestamps = [r.record.timestamp for r in self._records]
-            index = bisect.bisect_left(timestamps, timestamp)
-            if index >= len(self._records):
-                return None
-            return self._records[index].offset
+        segments = self._segments
+        if not segments[-1].records:
+            segments = segments[:-1]  # only the active segment may be empty
+        if not segments:
+            return None
+        first = bisect.bisect_left(segments, timestamp, key=_max_append_time)
+        for segment in segments[first:]:
+            records = segment.records
+            if not records:
+                continue
+            if segment.min_append_time >= timestamp:
+                # The whole segment is at/after the timestamp: its first
+                # record answers without scanning — only the one segment
+                # that straddles the timestamp is ever searched.
+                return records[0].offset
+            index = bisect.bisect_left(records, timestamp, key=_append_time)
+            if index < len(records):
+                return records[index].offset
+        return None
 
     # ------------------------------------------------------------------ #
-    # Retention / compaction hooks
+    # Retention / compaction
     # ------------------------------------------------------------------ #
     def truncate_before(self, offset: int) -> int:
         """Drop records with offsets strictly below ``offset``.
 
-        Returns the number of records removed.  Used by time/size retention.
+        Whole sealed segments below the cutoff are dropped by pointer; at
+        most one boundary segment is rebuilt, so a retention run costs
+        O(segments + one segment scan), not O(retained records).  Returns
+        the number of records removed.  Used by time/size retention.
         """
         with self._lock:
             offset = max(offset, self._log_start_offset)
             offset = min(offset, self._next_offset)
-            index = self._index_of(offset) if offset < self._next_offset else len(self._records)
-            removed = index
-            if removed > 0:
-                self._records = self._records[index:]
+            segments = self._segments
+            removed = 0
+            kept: List[LogSegment] = []
+            for index, segment in enumerate(segments):
+                if segment.end_offset <= offset:
+                    removed += len(segment.records)
+                    continue  # whole-segment drop: no record is touched
+                if segment.base_offset < offset:
+                    position = segment.locate(offset)
+                    removed += position
+                    if position:
+                        segment = segment.slice_from(position)
+                kept.append(segment)
+                kept.extend(segments[index + 1 :])
+                break
+            if not kept or kept[-1].sealed:
+                kept.append(LogSegment(self._next_offset))
+            # Publish the new start *before* the new segment tuple: readers
+            # snapshot segments first, then the start offset, so whoever
+            # sees the truncated tuple is guaranteed to also see the new
+            # start and raise out-of-range instead of silently serving
+            # from the wrong offset.
             self._log_start_offset = offset
+            self._segments = tuple(kept)
+            return removed
+
+    def size_retention_cutoff(self, retention_bytes: int) -> int:
+        """Earliest offset to keep so retained bytes fit ``retention_bytes``.
+
+        Sums cached per-segment sizes (O(segments)); only the boundary
+        segment — where dropping the whole thing would over-shoot — is
+        scanned record by record, preserving the record-granular semantics
+        of the flat implementation.
+        """
+        segments = self._segments
+        total = sum(segment.size_bytes for segment in segments)
+        cutoff = self._log_start_offset
+        if total <= retention_bytes:
+            return cutoff
+        for segment in segments:
+            if total - segment.size_bytes > retention_bytes:
+                total -= segment.size_bytes
+                cutoff = segment.end_offset
+                continue  # dropping all of it still leaves us over: drop whole
+            for stored in segment.records:
+                if total <= retention_bytes:
+                    break
+                total -= stored.size_bytes()
+                cutoff = stored.offset + 1
+            break
+        return cutoff
+
+    def compact(self) -> int:
+        """Log compaction: keep only the latest record for each key.
+
+        Records without a key are always retained (they carry no compaction
+        identity).  Runs segment-by-segment entirely under the write lock,
+        so records appended concurrently are never lost — the lost-append
+        race of the old snapshot/filter/replace dance is structurally
+        impossible.  Untouched segments keep their objects; filtered ones
+        are rebuilt sealed (with their sparse offset index), and a fresh
+        active segment reopens at the log end.  Returns the number of
+        records removed.
+        """
+        with self._lock:
+            latest_for_key: dict[str, int] = {}
+            for segment in self._segments:
+                for stored in segment.records:
+                    if stored.key is not None:
+                        latest_for_key[str(stored.key)] = stored.offset
+            removed = 0
+            rebuilt: List[LogSegment] = []
+            for segment in self._segments:
+                records = segment.records
+                kept = [
+                    stored
+                    for stored in records
+                    if stored.key is None
+                    or latest_for_key[str(stored.key)] == stored.offset
+                ]
+                dropped = len(records) - len(kept)
+                removed += dropped
+                if not dropped:
+                    rebuilt.append(segment)  # untouched: keep the object
+                elif kept:
+                    rebuilt.append(LogSegment.sealed_from(kept))
+            if not rebuilt or rebuilt[-1].sealed:
+                rebuilt.append(LogSegment(self._next_offset))
+            self._segments = tuple(rebuilt)
             return removed
 
     def replace_records(self, records: Sequence[StoredRecord]) -> None:
-        """Replace the retained records (compaction).  Offsets must be sorted."""
+        """Replace the retained records (compaction).  Offsets must be sorted.
+
+        Kept for compatibility with external compaction drivers; in-log
+        :meth:`compact` is the raceless path.  The records are re-chunked
+        into sealed segments of at most ``segment_records`` each.
+        """
         with self._lock:
             offsets = [r.offset for r in records]
             if offsets != sorted(offsets):
@@ -271,16 +736,9 @@ class PartitionLog:
                     raise ValueError("compaction may not resurrect truncated offsets")
                 if records[-1].offset >= self._next_offset:
                     raise ValueError("compaction may not invent future offsets")
-            self._records = list(records)
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _index_of(self, offset: int) -> int:
-        """Index in ``self._records`` of the first record with offset >= ``offset``."""
-        lo = offset - self._log_start_offset
-        # Fast path: no gaps means direct indexing; compaction introduces gaps.
-        if 0 <= lo < len(self._records) and self._records[lo].offset == offset:
-            return lo
-        offsets = [r.offset for r in self._records]
-        return bisect.bisect_left(offsets, offset)
+            rebuilt: List[LogSegment] = [
+                LogSegment.sealed_from(records[i : i + self.segment_records])
+                for i in range(0, len(records), self.segment_records)
+            ]
+            rebuilt.append(LogSegment(self._next_offset))
+            self._segments = tuple(rebuilt)

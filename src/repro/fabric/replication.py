@@ -96,7 +96,16 @@ class ReplicationManager:
             follower = self._brokers[broker_id]
             if not follower.online:
                 continue
-            follower_log = follower.create_replica(topic, partition)
+            # Create-if-missing inherits the leader log's storage config so
+            # a replica first materialized here rolls segments exactly like
+            # one placed by FabricAdmin (which passes TopicConfig.log_kwargs).
+            follower_log = follower.create_replica(
+                topic,
+                partition,
+                max_message_bytes=leader_log.max_message_bytes,
+                segment_records=leader_log.segment_records,
+                segment_bytes=leader_log.segment_bytes,
+            )
             start = follower_log.log_end_offset
             if start < leader_end:
                 missing = leader_log.fetch(

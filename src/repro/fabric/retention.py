@@ -4,29 +4,35 @@ The paper's default is seven-day time-based retention (Section IV-F);
 users can adjust retention and enable compaction through the Octopus Web
 Service.  The :class:`RetentionEnforcer` walks topic partitions and applies
 whichever policy the topic is configured with.
+
+Every policy here rides the segmented storage layer
+(:mod:`repro.fabric.partition`): cutoffs are found from per-segment
+bounds — cached byte sizes, min/max append times — and
+``truncate_before`` drops whole sealed segments by pointer, so a
+retention run is O(segments + one boundary-segment scan) instead of the
+old O(retained records) walk over a full ``read_all()`` copy.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.fabric.partition import PartitionLog
-from repro.fabric.record import StoredRecord
 from repro.fabric.topic import Topic
 
 
 def enforce_time_retention(
     log: PartitionLog, retention_seconds: float, now: Optional[float] = None
 ) -> int:
-    """Delete records older than ``retention_seconds``; return count removed."""
+    """Delete records older than ``retention_seconds``; return count removed.
+
+    The cutoff offset comes from :meth:`PartitionLog.offset_for_timestamp`,
+    which binary-searches per-segment append-time bounds and scans only the
+    boundary segment — no full-log copy is taken.
+    """
     now = now if now is not None else time.time()
-    cutoff = now - retention_seconds
-    keep_from: Optional[int] = None
-    for stored in log.read_all():
-        if stored.append_time >= cutoff:
-            keep_from = stored.offset
-            break
+    keep_from = log.offset_for_timestamp(now - retention_seconds)
     if keep_from is None:
         # Everything is older than the cutoff.
         return log.truncate_before(log.log_end_offset)
@@ -34,39 +40,29 @@ def enforce_time_retention(
 
 
 def enforce_size_retention(log: PartitionLog, retention_bytes: int) -> int:
-    """Delete oldest records until the partition is within ``retention_bytes``."""
-    removed = 0
-    records = list(log.read_all())
-    total = sum(r.size_bytes() for r in records)
-    index = 0
-    while total > retention_bytes and index < len(records):
-        total -= records[index].size_bytes()
-        index += 1
-    if index > 0:
-        removed = log.truncate_before(records[index - 1].offset + 1)
-    return removed
+    """Delete oldest records until the partition is within ``retention_bytes``.
+
+    The cutoff comes from cached per-segment byte counters
+    (:meth:`PartitionLog.size_retention_cutoff`); only the boundary segment
+    is scanned record by record, keeping the record-granular semantics.
+    """
+    cutoff = log.size_retention_cutoff(retention_bytes)
+    if cutoff <= log.log_start_offset:
+        return 0
+    return log.truncate_before(cutoff)
 
 
 def compact(log: PartitionLog) -> int:
     """Log compaction: keep only the latest record for each key.
 
     Records without a key are always retained (they carry no compaction
-    identity).  Returns the number of records removed.
+    identity).  Delegates to :meth:`PartitionLog.compact`, which rewrites
+    segment-by-segment *under the log's write lock* — records appended
+    concurrently with a compaction pass can no longer be silently dropped
+    (the old snapshot/filter/``replace_records`` sequence held no lock
+    across its steps).  Returns the number of records removed.
     """
-    records = list(log.read_all())
-    latest_for_key: Dict[str, int] = {}
-    for stored in records:
-        if stored.key is not None:
-            latest_for_key[str(stored.key)] = stored.offset
-    kept: List[StoredRecord] = [
-        stored
-        for stored in records
-        if stored.key is None or latest_for_key[str(stored.key)] == stored.offset
-    ]
-    removed = len(records) - len(kept)
-    if removed:
-        log.replace_records(kept)
-    return removed
+    return log.compact()
 
 
 class RetentionEnforcer:

@@ -45,6 +45,12 @@ class TopicConfig:
     persist_to_store:
         Whether events are mirrored to the cloud object store (the red
         "persistence" arrow in Figure 2).
+    segment_records / segment_bytes:
+        Storage-segment roll thresholds for this topic's partition logs
+        (``None`` selects the :mod:`repro.fabric.partition` defaults).
+        Smaller segments make retention finer-grained; larger ones lower
+        the per-segment overhead.  Applied when a partition log is
+        created — existing logs keep the thresholds they were built with.
     """
 
     num_partitions: int = 1
@@ -55,6 +61,8 @@ class TopicConfig:
     min_insync_replicas: int = 1
     max_message_bytes: int = 8 * 1024 * 1024
     persist_to_store: bool = False
+    segment_records: Optional[int] = None
+    segment_bytes: Optional[int] = None
 
     def validate(self) -> None:
         if self.num_partitions < 1:
@@ -77,6 +85,10 @@ class TopicConfig:
             raise InvalidConfigError("retention_bytes must be >= 0")
         if self.max_message_bytes <= 0:
             raise InvalidConfigError("max_message_bytes must be > 0")
+        if self.segment_records is not None and self.segment_records < 1:
+            raise InvalidConfigError("segment_records must be >= 1")
+        if self.segment_bytes is not None and self.segment_bytes < 1:
+            raise InvalidConfigError("segment_bytes must be >= 1")
 
     def with_updates(self, **updates) -> "TopicConfig":
         """Return a new config with ``updates`` applied and validated."""
@@ -94,6 +106,16 @@ class TopicConfig:
             "min_insync_replicas": self.min_insync_replicas,
             "max_message_bytes": self.max_message_bytes,
             "persist_to_store": self.persist_to_store,
+            "segment_records": self.segment_records,
+            "segment_bytes": self.segment_bytes,
+        }
+
+    def log_kwargs(self) -> dict:
+        """Constructor kwargs for a :class:`PartitionLog` under this config."""
+        return {
+            "max_message_bytes": self.max_message_bytes,
+            "segment_records": self.segment_records,
+            "segment_bytes": self.segment_bytes,
         }
 
     @classmethod
@@ -115,9 +137,7 @@ class Topic:
         self.config.validate()
         self._lock = threading.RLock()
         self._partitions: Dict[int, PartitionLog] = {
-            index: PartitionLog(
-                self.name, index, max_message_bytes=self.config.max_message_bytes
-            )
+            index: PartitionLog(self.name, index, **self.config.log_kwargs())
             for index in range(self.config.num_partitions)
         }
 
@@ -150,7 +170,7 @@ class Topic:
                 )
             for index in range(current, new_total):
                 self._partitions[index] = PartitionLog(
-                    self.name, index, max_message_bytes=self.config.max_message_bytes
+                    self.name, index, **self.config.log_kwargs()
                 )
             self.config = self.config.with_updates(num_partitions=new_total)
 

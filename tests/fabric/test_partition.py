@@ -84,15 +84,37 @@ class TestTimestampLookup:
     def test_offset_for_timestamp_finds_first_at_or_after(self):
         log = make_log()
         for ts in (100.0, 200.0, 300.0):
-            log.append(EventRecord(value=ts, timestamp=ts))
+            log.append(EventRecord(value=ts), append_time=ts)
         assert log.offset_for_timestamp(150.0) == 1
         assert log.offset_for_timestamp(200.0) == 1
         assert log.offset_for_timestamp(50.0) == 0
 
     def test_offset_for_timestamp_none_when_all_older(self):
         log = make_log()
-        log.append(EventRecord(value=1, timestamp=100.0))
+        log.append(EventRecord(value=1), append_time=100.0)
         assert log.offset_for_timestamp(500.0) is None
+
+    def test_offset_for_timestamp_searches_append_time_not_record_timestamp(self):
+        """The lookup runs on the log-assigned append time: client-supplied
+        record timestamps carry no ordering guarantee, so a producer
+        shipping out-of-order timestamps must not corrupt the search."""
+        log = make_log()
+        for when, ts in enumerate((500.0, 100.0, 900.0), start=1):
+            # Client timestamps zig-zag; log append times advance 1.0, 2.0, 3.0.
+            log.append(EventRecord(value=ts, timestamp=ts), append_time=float(when))
+        assert log.offset_for_timestamp(1.0) == 0
+        assert log.offset_for_timestamp(2.0) == 1
+        assert log.offset_for_timestamp(3.0) == 2
+        assert log.offset_for_timestamp(4.0) is None
+
+    def test_log_assigned_append_times_are_monotone(self):
+        """With no explicit append_time the log assigns a non-decreasing
+        clock, even after a caller pinned a future explicit time."""
+        log = make_log()
+        log.append(EventRecord(value=0), append_time=10e12)  # far future
+        log.append(EventRecord(value=1))  # wall clock is behind: clamped
+        times = [r.append_time for r in log.read_all()]
+        assert times == sorted(times)
 
 
 class TestTruncation:

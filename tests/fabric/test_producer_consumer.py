@@ -1,5 +1,7 @@
 """Tests for producer and consumer clients against the fabric."""
 
+import time
+
 import pytest
 
 from repro.fabric import (
@@ -142,12 +144,20 @@ class TestConsumer:
         assert [r.value for r in consumer.poll_flat()] == ["new"]
 
     def test_timestamp_reset_starts_mid_stream(self, cluster):
+        """``start_timestamp`` matches the broker-assigned append time —
+        the client-supplied record timestamps (0.0..4.0 here, far in the
+        past) no longer drive the reset point."""
         producer = FabricProducer(cluster)
-        for i in range(5):
+        for i in range(3):
+            producer.send("events", i, partition=0, timestamp=float(i))
+        time.sleep(0.005)
+        cut = time.time()
+        time.sleep(0.005)
+        for i in (3, 4):
             producer.send("events", i, partition=0, timestamp=float(i))
         consumer = FabricConsumer(
             cluster, ["events"],
-            ConsumerConfig(group_id="g3", auto_offset_reset="timestamp", start_timestamp=3.0),
+            ConsumerConfig(group_id="g3", auto_offset_reset="timestamp", start_timestamp=cut),
         )
         assert sorted(r.value for r in consumer.poll_flat()) == [3, 4]
 

@@ -1,0 +1,236 @@
+"""Property tests for the segmented partition log.
+
+Two complementary suites, both soak-profile aware (no pinned
+``max_examples`` — the nightly ``HYPOTHESIS_PROFILE=soak`` run hammers
+them with a much larger budget, see ``tests/conftest.py``):
+
+* **Differential**: the segmented :class:`PartitionLog` (driven with tiny
+  segments so every sequence crosses many seal/roll boundaries) and the
+  pre-segment flat reference (:class:`repro.fabric.flatlog.FlatPartitionLog`)
+  execute the same operation sequence; every externally observable
+  answer — offsets, fetch slices, byte usage, retention outcomes,
+  timestamp lookups — must be identical.
+* **Invariants**: contiguous offsets across segment boundaries, retention
+  never resurrecting or reordering offsets, segment metadata consistent
+  with the records it covers.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.fabric.errors import OffsetOutOfRangeError
+from repro.fabric.flatlog import (
+    FlatPartitionLog,
+    flat_enforce_size_retention,
+    flat_enforce_time_retention,
+)
+from repro.fabric.partition import PartitionLog
+from repro.fabric.record import EventRecord
+from repro.fabric.retention import (
+    compact,
+    enforce_size_retention,
+    enforce_time_retention,
+)
+
+# Operations carry small integer parameters that the interpreter below
+# scales into offsets/cutoffs relative to the log's current state, so a
+# shrunk failing example stays meaningful.
+OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(min_value=-1, max_value=4)),
+        st.tuples(st.just("batch"), st.integers(min_value=1, max_value=9)),
+        st.tuples(st.just("truncate"), st.integers(min_value=0, max_value=12)),
+        st.tuples(st.just("time_retention"), st.integers(min_value=0, max_value=50)),
+        st.tuples(st.just("size_retention"), st.integers(min_value=0, max_value=1500)),
+        st.tuples(st.just("compact"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run(log, operations, *, is_flat):
+    """Drive one log through ``operations`` with a deterministic clock."""
+    step = 0
+    for name, arg in operations:
+        step += 1
+        when = float(step)
+        if name == "append":
+            key = None if arg < 0 else f"k{arg}"
+            log.append(EventRecord(value=step, key=key), append_time=when)
+        elif name == "batch":
+            log.append_batch(
+                [EventRecord(value=(step, i)) for i in range(arg)], append_time=when
+            )
+        elif name == "truncate":
+            log.truncate_before(log.log_start_offset + arg)
+        elif name == "time_retention":
+            if is_flat:
+                flat_enforce_time_retention(log, retention_seconds=arg, now=float(step))
+            else:
+                enforce_time_retention(log, retention_seconds=arg, now=float(step))
+        elif name == "size_retention":
+            if is_flat:
+                flat_enforce_size_retention(log, retention_bytes=arg)
+            else:
+                enforce_size_retention(log, retention_bytes=arg)
+        elif name == "compact":
+            if is_flat:
+                # The flat model has no raceless compaction; single-threaded
+                # here, so keep-latest-per-key over a snapshot is equivalent.
+                records = list(log.read_all())
+                latest = {}
+                for stored in records:
+                    if stored.key is not None:
+                        latest[str(stored.key)] = stored.offset
+                log.replace_records(
+                    [
+                        stored
+                        for stored in records
+                        if stored.key is None or latest[str(stored.key)] == stored.offset
+                    ]
+                )
+            else:
+                compact(log)
+    return log
+
+
+def _observe_fetch(log, offset, max_records, max_bytes):
+    try:
+        records, used = log.fetch_with_usage(
+            offset, max_records=max_records, max_bytes=max_bytes
+        )
+        return ([(r.offset, r.value) for r in records], used)
+    except OffsetOutOfRangeError:
+        return "out-of-range"
+
+
+class TestDifferentialEquivalence:
+    @given(operations=OPERATIONS)
+    def test_segmented_log_matches_flat_reference(self, operations):
+        segmented = _run(
+            PartitionLog("t", 0, segment_records=3, segment_bytes=220),
+            operations,
+            is_flat=False,
+        )
+        flat = _run(FlatPartitionLog("t", 0), operations, is_flat=True)
+
+        assert segmented.log_start_offset == flat.log_start_offset
+        assert segmented.log_end_offset == flat.log_end_offset
+        assert len(segmented) == len(flat)
+        assert segmented.size_bytes == flat.size_bytes
+        assert segmented.total_appended == flat.total_appended
+        assert [(r.offset, r.value, r.append_time) for r in segmented.read_all()] == [
+            (r.offset, r.value, r.append_time) for r in flat.read_all()
+        ]
+
+    @given(operations=OPERATIONS, max_records=st.integers(1, 7))
+    def test_fetch_equivalence_at_every_offset(self, operations, max_records):
+        segmented = _run(
+            PartitionLog("t", 0, segment_records=3, segment_bytes=220),
+            operations,
+            is_flat=False,
+        )
+        flat = _run(FlatPartitionLog("t", 0), operations, is_flat=True)
+        # Probe one offset beyond both ends too: error behavior must match.
+        for offset in range(
+            max(0, segmented.log_start_offset - 1), segmented.log_end_offset + 2
+        ):
+            for max_bytes in (None, 1, 150, 10_000):
+                assert _observe_fetch(segmented, offset, max_records, max_bytes) == (
+                    _observe_fetch(flat, offset, max_records, max_bytes)
+                ), f"fetch({offset}, {max_records}, {max_bytes}) diverged"
+
+    @given(operations=OPERATIONS)
+    def test_timestamp_lookup_equivalence(self, operations):
+        segmented = _run(
+            PartitionLog("t", 0, segment_records=3, segment_bytes=220),
+            operations,
+            is_flat=False,
+        )
+        flat = _run(FlatPartitionLog("t", 0), operations, is_flat=True)
+        for probe in range(0, len(operations) + 2):
+            timestamp = float(probe) - 0.5
+            assert segmented.offset_for_timestamp(timestamp) == (
+                flat.offset_for_timestamp(timestamp)
+            ), f"offset_for_timestamp({timestamp}) diverged"
+
+
+class TestSegmentInvariants:
+    @given(operations=OPERATIONS)
+    def test_offsets_contiguous_across_segments_without_compaction(self, operations):
+        operations = [op for op in operations if op[0] != "compact"]
+        if not operations:
+            operations = [("append", -1)]
+        log = _run(
+            PartitionLog("t", 0, segment_records=3, segment_bytes=220),
+            operations,
+            is_flat=False,
+        )
+        offsets = [r.offset for r in log.read_all()]
+        # Delete-retention only ever trims a prefix: what remains is one
+        # contiguous run ending exactly at the log end, regardless of how
+        # many segment boundaries it crosses.
+        assert offsets == list(range(log.log_end_offset - len(offsets), log.log_end_offset))
+
+    @given(operations=OPERATIONS)
+    def test_retention_never_resurrects_or_reorders(self, operations):
+        log = PartitionLog("t", 0, segment_records=3, segment_bytes=220)
+        step = 0
+        previous_start = 0
+        previous_end = 0
+        seen_offsets = set()
+        for name, arg in operations:
+            step += 1
+            if name == "append":
+                log.append(EventRecord(value=step), append_time=float(step))
+            elif name == "batch":
+                log.append_batch(
+                    [EventRecord(value=(step, i)) for i in range(arg)],
+                    append_time=float(step),
+                )
+            elif name == "truncate":
+                log.truncate_before(log.log_start_offset + arg)
+            elif name == "time_retention":
+                enforce_time_retention(log, retention_seconds=arg, now=float(step))
+            elif name == "size_retention":
+                enforce_size_retention(log, retention_bytes=arg)
+            elif name == "compact":
+                compact(log)
+            offsets = [r.offset for r in log.read_all()]
+            assert offsets == sorted(set(offsets)), "offsets reordered or duplicated"
+            assert log.log_start_offset >= previous_start, "log start moved backwards"
+            assert log.log_end_offset >= previous_end, "log end moved backwards"
+            resurrected = {o for o in offsets if o < log.log_start_offset}
+            assert not resurrected, f"offsets below log start resurfaced: {resurrected}"
+            never_seen = [o for o in offsets if o not in seen_offsets]
+            assert all(o >= previous_end for o in never_seen), (
+                f"offsets materialized out of nowhere: {never_seen}"
+            )
+            previous_start = log.log_start_offset
+            previous_end = log.log_end_offset
+            seen_offsets.update(offsets)
+
+    @given(operations=OPERATIONS)
+    def test_segment_metadata_consistent_with_records(self, operations):
+        log = _run(
+            PartitionLog("t", 0, segment_records=3, segment_bytes=220),
+            operations,
+            is_flat=False,
+        )
+        described = log.describe_segments()
+        assert described, "a log always has at least its active segment"
+        assert described[-1]["sealed"] is False
+        for info, segment in zip(described, log._segments):
+            records = list(segment.records)
+            assert info["records"] == len(records)
+            assert info["size_bytes"] == sum(r.size_bytes() for r in records)
+            if records:
+                assert info["base_offset"] == records[0].offset
+                assert info["end_offset"] == records[-1].offset + 1
+                # Time bounds are conservative covers: exact for unsliced
+                # segments, inherited (wider) across truncation boundaries.
+                assert info["min_append_time"] <= min(r.append_time for r in records)
+                assert info["max_append_time"] >= max(r.append_time for r in records)
+        bases = [s["base_offset"] for s in described]
+        assert bases == sorted(bases)
