@@ -1,0 +1,74 @@
+"""Gate CI on the packed-path floors recorded in ``BENCH_storage.json``.
+
+The microbench pytest step is allowed to flake on contended shared
+runners (its step uses ``continue-on-error``), but the storage ratios it
+writes to ``BENCH_storage.json`` are the PR acceptance numbers — a ratio
+below its floor must fail the job, not just upload a bad artifact.  This
+script re-reads the JSON and exits non-zero when any recorded ``ratio``
+drops below its recorded ``floor``, or when the file is missing/empty
+(the bench never ran to completion).
+
+Usage::
+
+    python benchmarks/check_storage_floors.py [path-to-BENCH_storage.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Entries that must carry a ``ratio``/``floor`` pair.  Listing them here
+#: (rather than only trusting the JSON) means a bench that silently stops
+#: reporting is itself a failure.
+REQUIRED_RATIOS = ("append_batched", "fetch_paged", "mirror_batched")
+
+#: Retention speedup floors (``speedup`` key), the PR 5 acceptance bar.
+REQUIRED_SPEEDUPS = {
+    "time_retention_drop_half": 5.0,
+    "time_retention_noop": 5.0,
+    "size_retention_drop_half": 5.0,
+}
+
+
+def check(path: Path) -> int:
+    if not path.exists():
+        print(f"FAIL: {path} not found — the storage microbench did not run")
+        return 1
+    results = json.loads(path.read_text())
+    failures = []
+    for name in REQUIRED_RATIOS:
+        entry = results.get(name)
+        if not isinstance(entry, dict) or "ratio" not in entry or "floor" not in entry:
+            failures.append(f"{name}: missing ratio/floor in {path.name}")
+            continue
+        ratio, floor = entry["ratio"], entry["floor"]
+        status = "ok" if ratio >= floor else "BELOW FLOOR"
+        print(f"{name}: ratio {ratio:.3f} (floor {floor:.1f}) {status}")
+        if ratio < floor:
+            failures.append(f"{name}: ratio {ratio:.3f} < floor {floor:.1f}")
+    for name, floor in REQUIRED_SPEEDUPS.items():
+        entry = results.get(name)
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            failures.append(f"{name}: missing speedup in {path.name}")
+            continue
+        speedup = entry["speedup"]
+        status = "ok" if speedup >= floor else "BELOW FLOOR"
+        print(f"{name}: speedup {speedup:.1f}x (floor {floor:.1f}x) {status}")
+        if speedup < floor:
+            failures.append(f"{name}: speedup {speedup:.1f} < floor {floor:.1f}")
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nAll storage floors hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+    )
+    sys.exit(check(target))

@@ -72,9 +72,10 @@ def _best_of(fn, repeats=3):
 
 
 def test_append_throughput_not_regressed():
-    """Segment rolls must not tax the batched append path: the segmented
-    log appends 100k records at ≥ 0.5× the flat log's rate (it is
-    typically at parity — the roll check is one comparison per batch)."""
+    """Packed batch adoption must put segmented append at or above flat:
+    ``append_batch`` packs each 500-record batch once and adopts it by
+    reference (one chunk append + prefix sums instead of 500 ``StoredRecord``
+    constructions), so the floor is parity — ≥ 1.0× the flat log's rate."""
 
     def append_segmented():
         _fill(PartitionLog("bench", 0))
@@ -89,14 +90,16 @@ def test_append_throughput_not_regressed():
         "flat_ev_s": round(flat),
         "ratio": round(segmented / flat, 3),
     }
+    RESULTS["append_batched"]["floor"] = 1.0
     print(f"\nBatched append: segmented {segmented:,.0f} ev/s, "
           f"flat {flat:,.0f} ev/s ({segmented / flat:.2f}x)")
-    assert segmented >= 0.5 * flat
+    assert segmented >= 1.0 * flat
 
 
 def test_fetch_throughput_not_regressed():
-    """Paging through 100k records in 500-record fetches: segment-list
-    bisect + per-segment slices must hold ≥ 0.5× the flat slice rate."""
+    """Paging through 100k records in 500-record fetches: lazy packed
+    views (O(runs) assembly, no per-record materialization) must beat the
+    flat log's list slices — the floor is ≥ 1.0× the flat rate."""
     segmented_log = _fill(PartitionLog("bench", 0))
     flat_log = _fill(FlatPartitionLog("bench", 0))
 
@@ -116,9 +119,10 @@ def test_fetch_throughput_not_regressed():
         "flat_rec_s": round(flat),
         "ratio": round(segmented / flat, 3),
     }
+    RESULTS["fetch_paged"]["floor"] = 1.0
     print(f"\nPaged fetch: segmented {segmented:,.0f} rec/s, "
           f"flat {flat:,.0f} rec/s ({segmented / flat:.2f}x)")
-    assert segmented >= 0.5 * flat
+    assert segmented >= 1.0 * flat
 
 
 def test_time_retention_run_5x_faster():
@@ -126,10 +130,12 @@ def test_time_retention_run_5x_faster():
     must be ≥ 5× faster on segments (whole-segment drops + one boundary
     scan) than the flat walk-copy-and-slice.
 
-    A pre-taken snapshot keeps the dropped records alive through the timed
-    window: freeing 50k record objects costs both implementations exactly
-    the same interpreter work, and with it inside the window it drowns the
-    storage-layer difference the bench exists to measure."""
+    A pre-taken snapshot keeps the dropped records — and, for the
+    segmented log, the dropped segments' packed-chunk containers — alive
+    through the timed window: freeing 50k records' worth of objects costs
+    both implementations comparable interpreter work, and with it inside
+    the window it drowns the storage-layer difference the bench exists to
+    measure."""
     half_cutoff = NUM_RECORDS // BATCH / 2.0  # append-time ticks
 
     segmented_times = []
@@ -138,7 +144,13 @@ def test_time_retention_run_5x_faster():
     for _ in range(3):
         segmented_log = _fill(PartitionLog("bench", 0))
         flat_log = _fill(FlatPartitionLog("bench", 0))
-        keepalive.append((segmented_log.read_all(), flat_log.read_all()))
+        keepalive.append(
+            (
+                segmented_log.read_all(),
+                tuple(segmented_log._segments),
+                flat_log.read_all(),
+            )
+        )
         now = float(NUM_RECORDS // BATCH)
         gc.collect()
         gc.disable()
@@ -210,10 +222,17 @@ def test_size_retention_and_accounting_5x_faster():
     for _ in range(3):
         segmented_log = _fill(PartitionLog("bench", 0))
         flat_log = _fill(FlatPartitionLog("bench", 0))
-        # Keep dropped records alive: both sides pay identical free() costs,
-        # so the timed window isolates the retention machinery (see the
-        # time-retention bench above).
-        keepalive.append((segmented_log.read_all(), flat_log.read_all()))
+        # Keep dropped records (and the segmented log's packed chunks)
+        # alive: both sides pay comparable free() costs, so the timed
+        # window isolates the retention machinery (see the time-retention
+        # bench above).
+        keepalive.append(
+            (
+                segmented_log.read_all(),
+                tuple(segmented_log._segments),
+                flat_log.read_all(),
+            )
+        )
         gc.collect()
         gc.disable()
         try:
@@ -239,3 +258,110 @@ def test_size_retention_and_accounting_5x_faster():
     print(f"\nSize retention (drop ~50k of 100k): segmented {segmented * 1e3:.3f} ms, "
           f"flat {flat * 1e3:.3f} ms ({speedup:.0f}x)")
     assert speedup >= 5.0
+
+
+def test_mirror_packed_forwarding_not_regressed():
+    """Cross-cluster mirroring forwards packed chunks by reference (a
+    header overlay carries provenance; nothing is re-encoded).  The floor
+    is parity — ≥ 1.0× a per-record baseline that rebuilds each
+    ``EventRecord`` with merged provenance headers, the pre-packed
+    MirrorMaker data path."""
+    from repro.fabric.cluster import FabricCluster
+    from repro.fabric.mirrormaker import MirrorMaker
+    from repro.fabric.topic import TopicConfig
+
+    num_partitions, per_partition = 4, 2_500
+    total = num_partitions * per_partition
+
+    def build_source(name):
+        source = FabricCluster(num_brokers=1, name=name)
+        source.admin().create_topic(
+            "mirror-bench",
+            TopicConfig(num_partitions=num_partitions, replication_factor=1),
+        )
+        for p in range(num_partitions):
+            for start in range(0, per_partition, BATCH):
+                source.append_batch(
+                    "mirror-bench",
+                    p,
+                    [EventRecord(value=EVENT_64B) for _ in range(BATCH)],
+                )
+        return source
+
+    def build_destination(name):
+        destination = FabricCluster(num_brokers=1, name=name)
+        destination.admin().create_topic(
+            "mirror-bench",
+            TopicConfig(num_partitions=num_partitions, replication_factor=1),
+        )
+        return destination
+
+    def packed_run():
+        source = build_source("bench-src-packed")
+        mirror = MirrorMaker(source, build_destination("bench-dst-packed"))
+
+        def run():
+            assert mirror.sync_topic("mirror-bench").records_mirrored == total
+        return run
+
+    def per_record_run():
+        source = build_source("bench-src-rec")
+        destination = build_destination("bench-dst-rec")
+
+        def run():
+            mirrored_total = 0
+            for _, partition in source.partitions_for("mirror-bench"):
+                records = source.fetch(
+                    "mirror-bench", partition, 0,
+                    max_records=per_partition, max_bytes=None,
+                )
+                base_offset = records[0].offset
+                rebuilt = [
+                    EventRecord(
+                        value=stored.record.value,
+                        key=stored.record.key,
+                        headers={
+                            **dict(stored.record.headers),
+                            "mirror.source.cluster": source.name,
+                            "mirror.source.offset": str(stored.offset),
+                            "mirror.batch.base_offset": str(base_offset),
+                        },
+                        timestamp=stored.record.timestamp,
+                    )
+                    for stored in records
+                ]
+                destination.append_batch(
+                    "mirror-bench", partition, rebuilt, acks=1
+                )
+                mirrored_total += len(rebuilt)
+            assert mirrored_total == total
+        return run
+
+    # Each timed run mirrors a fresh source into a fresh destination, so
+    # build (untimed) inside the repeat loop rather than using _best_of.
+    def best_rate(make_run, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            run = make_run()
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+        return total / best
+
+    packed = best_rate(packed_run)
+    per_record = best_rate(per_record_run)
+    RESULTS["mirror_batched"] = {
+        "packed_rec_s": round(packed),
+        "per_record_rec_s": round(per_record),
+        "ratio": round(packed / per_record, 3),
+        "floor": 1.0,
+    }
+    print(f"\nMirror sync: packed forwarding {packed:,.0f} rec/s, "
+          f"per-record re-encode {per_record:,.0f} rec/s "
+          f"({packed / per_record:.2f}x)")
+    assert packed >= 1.0 * per_record

@@ -7,7 +7,10 @@ applications exercise:
 
 * append-only partition logs with strictly increasing offsets, stored as
   Kafka-style segments (an active segment plus sealed, immutable ones) so
-  retention drops whole segments and reads skip the append lock,
+  retention drops whole segments and reads skip the append lock; segment
+  storage holds :class:`~repro.fabric.record.PackedRecordBatch` chunks —
+  a record is encoded once at produce and forwarded by reference through
+  storage, fetch, replication and mirroring,
 * topics composed of one or more partitions with a replication factor,
 * a cluster of brokers with leader election and in-sync replica (ISR)
   tracking, plus an explicit admin (control-plane) client —
@@ -21,7 +24,13 @@ applications exercise:
 * a MirrorMaker-like cross-cluster replicator.
 """
 
-from repro.fabric.record import EventRecord, RecordBatch, RecordMetadata
+from repro.fabric.record import (
+    EventRecord,
+    PackedRecordBatch,
+    PackedView,
+    RecordBatch,
+    RecordMetadata,
+)
 from repro.fabric.partition import LogSegment, PartitionLog
 from repro.fabric.topic import Topic, TopicConfig
 from repro.fabric.broker import Broker
@@ -45,6 +54,8 @@ from repro.fabric.errors import (
 
 __all__ = [
     "EventRecord",
+    "PackedRecordBatch",
+    "PackedView",
     "RecordBatch",
     "RecordMetadata",
     "LogSegment",

@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.fabric.errors import BrokerUnavailableError, UnknownPartitionError
 from repro.fabric.partition import PartitionLog
-from repro.fabric.record import EventRecord, StoredRecord
+from repro.fabric.record import EventRecord, PackedRecordBatch, StoredRecord
 
 
 @dataclass(frozen=True)
@@ -134,6 +134,19 @@ class Broker:
         """Append a whole batch to the local replica (leader batch path)."""
         self._check_online()
         return self.replica(topic, partition).append_batch(records)
+
+    def append_packed(
+        self, topic: str, partition: int, packed: PackedRecordBatch
+    ) -> PackedRecordBatch:
+        """Adopt a producer-sealed packed batch on the local replica.
+
+        This is the one-encode leader path: the batch object the producer
+        sealed becomes the log's storage chunk directly, and the returned
+        offset-stamped form (sharing its records and payload) is what the
+        cluster forwards to the canonical partition and persistence sinks.
+        """
+        self._check_online()
+        return self.replica(topic, partition).append_packed(packed)
 
     def replicate(
         self, topic: str, partition: int, records: Iterable[StoredRecord]

@@ -5,9 +5,16 @@ the paper): a set of brokers serving the client *data plane* — batched
 produces routed to partition leaders, multi-partition fetch sessions,
 offset lookups and batched group commits.  Control-plane operations
 (topic/broker administration, retention, authorizer wiring) live on
-:class:`~repro.fabric.admin.FabricAdmin`; the old ``FabricCluster``
-control methods remain as thin delegating shims that emit
-:class:`DeprecationWarning`.
+:class:`~repro.fabric.admin.FabricAdmin` (``cluster.admin()``); the old
+delegating shims on ``FabricCluster`` have been removed.
+
+Produce is *one-encode*: :meth:`FabricCluster.append_batch` packs the
+records once (or accepts a producer-sealed
+:class:`~repro.fabric.record.PackedRecordBatch`), the leader log adopts
+the packed batch by reference, and the offset-stamped result — still
+sharing the same record tuple and payload — is forwarded to the
+canonical partition view, persistence sinks and producer metadata
+without re-materialising a single record.
 
 Per-topic authorization is delegated to an optional
 :class:`~repro.auth.acl.AclStore`-compatible authorizer, matching how MSK
@@ -21,7 +28,6 @@ than once per fetch and still sees revocations on its next call.
 from __future__ import annotations
 
 import threading
-import warnings
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -42,14 +48,20 @@ from repro.fabric.broker import Broker, BrokerSpec
 from repro.fabric.errors import (
     AuthorizationError,
     BrokerUnavailableError,
+    RecordTooLargeError,
     UnknownTopicError,
 )
 from repro.fabric.group import ConsumerGroupCoordinator, TopicPartition
 from repro.fabric.offsets import CommittedOffset, GroupOffsets, OffsetStore
-from repro.fabric.record import EventRecord, RecordMetadata, StoredRecord
+from repro.fabric.record import (
+    EventRecord,
+    PackedRecordBatch,
+    RecordMetadata,
+    StoredRecord,
+)
 from repro.fabric.replication import PartitionAssignment, ReplicationManager
 from repro.fabric.retention import RetentionEnforcer
-from repro.fabric.topic import Topic, TopicConfig
+from repro.fabric.topic import Topic
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import (cycle otherwise)
     from repro.fabric.admin import AdminAuthorizer, FabricAdmin
@@ -363,85 +375,6 @@ class FabricCluster:
                 return self._default_admin
         return FabricAdmin(self, principal=principal, authorizer=authorizer)
 
-    def _deprecated_control_call(self, name: str, replacement: str) -> "FabricAdmin":
-        warnings.warn(
-            f"FabricCluster.{name}() is deprecated; use FabricAdmin.{replacement}() "
-            "(e.g. cluster.admin()) instead — control-plane operations moved to "
-            "repro.fabric.admin.FabricAdmin",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return self.admin()
-
-    # ------------------------------------------------------------------ #
-    # Deprecated control-plane shims (see FabricAdmin)
-    # ------------------------------------------------------------------ #
-    def set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
-        """Deprecated: use :meth:`FabricAdmin.set_authorizer`."""
-        self._deprecated_control_call("set_authorizer", "set_authorizer").set_authorizer(
-            authorizer
-        )
-
-    def add_persistence_sink(
-        self, sink: Callable[[str, int, StoredRecord], None]
-    ) -> None:
-        """Deprecated: use :meth:`FabricAdmin.add_persistence_sink`."""
-        self._deprecated_control_call(
-            "add_persistence_sink", "add_persistence_sink"
-        ).add_persistence_sink(sink)
-
-    def describe(self) -> dict:
-        """Deprecated: use :meth:`FabricAdmin.describe_cluster`."""
-        return self._deprecated_control_call("describe", "describe_cluster").describe_cluster()
-
-    def create_topic(
-        self,
-        name: str,
-        config: Optional[TopicConfig] = None,
-        *,
-        principal: Optional[str] = None,
-    ) -> Topic:
-        """Deprecated: use :meth:`FabricAdmin.create_topic`."""
-        return self._deprecated_control_call("create_topic", "create_topic").create_topic(
-            name, config
-        )
-
-    def delete_topic(self, name: str, *, principal: Optional[str] = None) -> None:
-        """Deprecated: use :meth:`FabricAdmin.delete_topic`."""
-        self._deprecated_control_call("delete_topic", "delete_topic").delete_topic(name)
-
-    def update_topic_config(self, name: str, **updates) -> TopicConfig:
-        """Deprecated: use :meth:`FabricAdmin.update_topic_config`."""
-        return self._deprecated_control_call(
-            "update_topic_config", "update_topic_config"
-        ).update_topic_config(name, **updates)
-
-    def set_partitions(self, name: str, num_partitions: int) -> TopicConfig:
-        """Deprecated: use :meth:`FabricAdmin.set_partitions`."""
-        return self._deprecated_control_call(
-            "set_partitions", "set_partitions"
-        ).set_partitions(name, num_partitions)
-
-    def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
-        """Deprecated: use :meth:`FabricAdmin.fail_broker`."""
-        return self._deprecated_control_call("fail_broker", "fail_broker").fail_broker(
-            broker_id
-        )
-
-    def restore_broker(self, broker_id: int) -> None:
-        """Deprecated: use :meth:`FabricAdmin.restore_broker`."""
-        self._deprecated_control_call(
-            "restore_broker", "restore_broker"
-        ).restore_broker(broker_id)
-
-    def run_retention(
-        self, topic_name: Optional[str] = None
-    ) -> Dict[str, Dict[int, int]]:
-        """Deprecated: use :meth:`FabricAdmin.run_retention`."""
-        return self._deprecated_control_call(
-            "run_retention", "run_retention"
-        ).run_retention(topic_name)
-
     # ------------------------------------------------------------------ #
     # Topic metadata (read-only; the control plane mutates via FabricAdmin)
     # ------------------------------------------------------------------ #
@@ -533,7 +466,7 @@ class FabricCluster:
         self,
         topic_name: str,
         partition: int,
-        records: Sequence[EventRecord],
+        records: Union[Sequence[EventRecord], PackedRecordBatch],
         *,
         acks: object = 1,
         principal: Optional[str] = None,
@@ -543,16 +476,56 @@ class FabricCluster:
         This is the batched data plane: one authorization check, one
         metadata lookup, one leader resolution, one leader-log lock
         round-trip and one follower-replication pass for the entire batch,
-        instead of one of each per record.  ``acks`` semantics match
+        instead of one of each per record.  ``records`` may be a plain
+        sequence (packed here, once) or an already-sealed
+        :class:`PackedRecordBatch` from the producer — either way every
+        layer below holds the same object.  ``acks`` semantics match
         :meth:`append` and apply to the batch as a unit.
         """
-        records = list(records)
-        if not records:
+        if isinstance(records, PackedRecordBatch):
+            packed = records
+        else:
+            records = list(records)
+            if not records:
+                return []
+            packed = PackedRecordBatch.from_events(records)
+        if len(packed) == 0:
             return []
+        return self.append_chunks(
+            topic_name, partition, (packed,), acks=acks, principal=principal
+        )
+
+    def append_chunks(
+        self,
+        topic_name: str,
+        partition: int,
+        chunks: Sequence[PackedRecordBatch],
+        *,
+        acks: object = 1,
+        principal: Optional[str] = None,
+    ) -> List[RecordMetadata]:
+        """Append pre-packed batches under one authorization/leader round.
+
+        The zero-copy forwarding entry point (packed produce, MirrorMaker):
+        each chunk is adopted by the leader log *by reference*, and the
+        offset-stamped result — still sharing the caller's record tuple
+        and payload bytes — is mirrored into the canonical partition view
+        and persistence sinks without re-encoding anything.
+        """
         self._authorize(principal, "WRITE", topic_name)
         topic = self.topic(topic_name)
         canonical = topic.partition(partition)  # validates the partition exists
         leader = self._leader_for(topic_name, partition)
+        if len(chunks) > 1:
+            # Validate every chunk up front so a multi-chunk forward stays
+            # atomic: the single-chunk path validates inside append_packed.
+            limit = canonical.max_message_bytes
+            for chunk in chunks:
+                if chunk.max_record_size > limit:
+                    raise RecordTooLargeError(
+                        f"record of {chunk.max_record_size} B exceeds "
+                        f"max.message.bytes={limit} for {topic_name}-{partition}"
+                    )
         with self._lock:
             append_lock = self._append_locks.setdefault(
                 (topic_name, partition), threading.Lock()
@@ -561,18 +534,20 @@ class FabricCluster:
         # atomic step: without it a concurrent producer could mirror a later
         # batch first, leaving this batch permanently absent from the
         # canonical view that retention and metrics operate on.
+        stamped_chunks: List[PackedRecordBatch] = []
         with append_lock:
-            offsets = leader.append_batch(topic_name, partition, records)
-            # Mirror into the logical topic view: adopt the leader's stored
-            # records rather than re-wrapping them — append_stored skips any
-            # prefix the canonical log already holds.
-            if canonical.log_end_offset <= offsets[-1]:
-                canonical.append_stored(
-                    leader.fetch(
-                        topic_name, partition, offsets[0],
-                        max_records=len(records), max_bytes=None,
-                    )
-                )
+            for chunk in chunks:
+                if len(chunk) == 0:
+                    continue
+                stamped = leader.append_packed(topic_name, partition, chunk)
+                stamped_chunks.append(stamped)
+                # Mirror into the logical topic view by reference: the
+                # canonical log adopts the leader's packed chunk directly,
+                # skipping any prefix it already holds.
+                if canonical.log_end_offset < stamped.end_offset:
+                    canonical.append_stored(stamped)
+        if not stamped_chunks:
+            return []
         if acks == "all":
             self._replication.check_min_isr(
                 topic_name, partition, topic.config.min_insync_replicas
@@ -583,21 +558,26 @@ class FabricCluster:
         # acks == 0: nothing further.
         self._replication.replicate_from_leader(topic_name, partition)
         if topic.config.persist_to_store:
-            for offset, record in zip(offsets, records):
-                stored = StoredRecord(
-                    offset=offset, record=record, append_time=record.timestamp
-                )
-                for sink in self._persistence_sinks:
-                    sink(topic_name, partition, stored)
+            for stamped in stamped_chunks:
+                for index in range(len(stamped)):
+                    record = stamped.record_at(index)
+                    stored = StoredRecord(
+                        offset=stamped.offset_at(index),
+                        record=record,
+                        append_time=record.timestamp,
+                    )
+                    for sink in self._persistence_sinks:
+                        sink(topic_name, partition, stored)
         return [
             RecordMetadata(
                 topic=topic_name,
                 partition=partition,
-                offset=offset,
-                timestamp=record.timestamp,
-                serialized_size=record.size_bytes(),
+                offset=stamped.offset_at(index),
+                timestamp=stamped.timestamp_at(index),
+                serialized_size=stamped.size_at(index),
             )
-            for offset, record in zip(offsets, records)
+            for stamped in stamped_chunks
+            for index in range(len(stamped))
         ]
 
     # ------------------------------------------------------------------ #

@@ -32,7 +32,7 @@ from repro.common.clock import Clock
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.errors import CommitFailedError, FabricError, IllegalGenerationError
 from repro.fabric.group import TopicPartition
-from repro.fabric.record import StoredRecord
+from repro.fabric.record import PackedView, StoredRecord
 
 #: Rebalance listener signature: called with the affected partitions.
 RebalanceListener = Callable[[List[TopicPartition]], None]
@@ -322,7 +322,12 @@ class FabricConsumer:
                     self._positions[tp] = records[-1].offset + 1
         for records in out.values():
             self.metrics.records_consumed += len(records)
-            self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)
+            # Packed fetch views know their byte total from the batch size
+            # column — don't force a per-record decode just for metrics.
+            if isinstance(records, PackedView):
+                self.metrics.bytes_consumed += records.size_bytes()
+            else:
+                self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)
         self.metrics.polls += 1
         self.metrics.poll_latencies.append(time.perf_counter() - start)
         if self.config.enable_auto_commit:

@@ -9,9 +9,18 @@ and tagging mirrored records with provenance headers.
 Syncing is batched end to end: one fetch-session pass reads every source
 partition (leader resolutions cached across sync calls), and each
 partition's records travel to the destination through
-:meth:`FabricCluster.append_batch` — one authorization/metadata/leader
+:meth:`FabricCluster.append_chunks` — one authorization/metadata/leader
 round and one replication pass per partition per sync instead of one per
 record.
+
+Forwarding is zero-copy: the source fetch returns packed batch views, and
+the mirror hands those very chunks (payload and record objects shared) to
+the destination with a *header overlay* — the provenance headers
+(``mirror.source.cluster``/``mirror.source.offset``/
+``mirror.batch.base_offset``) are attached lazily when a destination
+reader decodes a record, so nothing is re-encoded on the mirror path.
+Mirrored byte accounting consequently reflects the source record sizes;
+the provenance headers ride outside the packed payload.
 """
 
 from __future__ import annotations
@@ -21,8 +30,21 @@ from typing import Dict, Optional, Sequence
 
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.errors import UnknownTopicError
-from repro.fabric.record import EventRecord
+from repro.fabric.record import PackedView
 from repro.fabric.topic import TopicConfig
+
+
+def _provenance_overlay(source_name: str, base_offset: int):
+    """Header-overlay callback mapping a *source* offset to provenance headers."""
+
+    def provenance(source_offset: int) -> Dict[str, str]:
+        return {
+            "mirror.source.cluster": source_name,
+            "mirror.source.offset": str(source_offset),
+            "mirror.batch.base_offset": str(base_offset),
+        }
+
+    return provenance
 
 
 @dataclass
@@ -107,31 +129,26 @@ class MirrorMaker:
             max_records=max_records_per_partition * max(1, len(partitions)),
             max_bytes=None,
         )
+        source_name = self.source.name
         for (_, partition), records in batches.items():
+            view = PackedView.wrap(records)
             base_offset = records[0].offset
-            mirrored = [
-                EventRecord(
-                    value=stored.record.value,
-                    key=stored.record.key,
-                    headers={
-                        **dict(stored.record.headers),
-                        "mirror.source.cluster": self.source.name,
-                        "mirror.source.offset": str(stored.offset),
-                        "mirror.batch.base_offset": str(base_offset),
-                    },
-                    timestamp=stored.record.timestamp,
-                )
-                for stored in records
-            ]
-            self.destination.append_batch(
-                destination_topic, partition, mirrored, acks=1,
+            provenance = _provenance_overlay(source_name, base_offset)
+            # Forward the fetched chunks by reference: the overlay captures
+            # the *source* offsets now, so destination restamping cannot
+            # disturb provenance, and no record is re-encoded.
+            self.destination.append_chunks(
+                destination_topic,
+                partition,
+                view.with_overlay(provenance),
+                acks=1,
                 principal=self.destination_principal,
             )
             # Positions advance per appended batch, so a failure in a later
             # partition never rewinds (or double-mirrors) this one.
             self._positions[(topic, partition)] = records[-1].offset + 1
             stats.records_mirrored += len(records)
-            stats.bytes_mirrored += sum(stored.size_bytes() for stored in records)
+            stats.bytes_mirrored += view.size_bytes()
             stats.batches_appended += 1
         stats.partitions_synced = len(partitions)
         return stats

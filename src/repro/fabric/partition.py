@@ -1,31 +1,39 @@
-"""Append-only partition logs on segmented storage.
+"""Append-only partition logs on segmented, packed-batch storage.
 
 A partition is the unit of ordering, parallelism and replication in the
 fabric.  Each partition is a strictly ordered, append-only log of
-:class:`~repro.fabric.record.StoredRecord`; offsets are assigned
-contiguously starting from the log start offset.  Retention and compaction
-may advance the log start offset, but never reorder or renumber records.
+records; offsets are assigned contiguously starting from the log start
+offset.  Retention and compaction may advance the log start offset, but
+never reorder or renumber records.
 
 Storage is Kafka-style **segmented**: one mutable *active* segment takes
-appends, behind it sits a list of *sealed*, immutable segments.  Each
-segment carries its base offset, cached byte size, min/max append time
-and (for compaction-gapped segments) a sparse offset index, which buys
-the hot paths their complexity budget:
+appends, behind it sits a list of *sealed*, immutable segments.  Since
+the one-encode refactor a segment holds its records as a short list of
+immutable :class:`~repro.fabric.record.PackedRecordBatch` *chunks* plus
+an append-only tail of per-record
+:class:`~repro.fabric.record.StoredRecord` (single appends land in the
+tail; batched appends, follower adoption and sealing produce chunks).
+That representation buys the hot paths their complexity budget:
 
+* **Appends adopt batches by reference** — a producer-sealed packed
+  batch becomes a segment chunk without materialising per-record
+  tuples; only the roll-threshold boundaries ever split one.
+* **Fetches return views, not copies** — ``fetch``/``fetch_with_usage``
+  answer with a :class:`~repro.fabric.record.PackedView` of
+  ``(chunk, start, stop)`` runs: O(runs) to build regardless of the
+  record count, decoded lazily only when a consumer touches a record.
+  Byte budgets bisect each chunk's size prefix sums instead of walking
+  records.
 * **Retention is O(segments), not O(records)** — ``truncate_before``
   drops whole sealed segments by pointer and rebuilds at most the one
   boundary segment; time/size cutoffs are found from per-segment bounds
-  with only the boundary segment scanned.
-* **Reads are lock-split** — sealed segments are immutable and the
-  segment list is swapped atomically, so fetches snapshot the list and
-  serve without touching the write lock; appends only ever extend the
-  active segment's record list (safe to slice concurrently under
-  CPython).  The single write lock covers appends, sealing, truncation
-  and compaction.
-* **Size accounting is O(segments)** — ``size_bytes`` sums cached
-  per-segment counters instead of re-walking every retained record.
-* **Timestamp lookup binary-searches** per-segment time bounds, then one
-  segment's records, instead of rebuilding a full timestamp list.
+  with only the boundary segment's chunk columns consulted.
+* **Reads are lock-split** — chunks are immutable and both the chunk
+  tuple (inside each segment) and the segment tuple are swapped
+  atomically, so fetches snapshot and serve without the write lock;
+  the tail list only ever grows and views bound it at build time.
+* **Timestamp lookup binary-searches** per-segment time covers, then
+  one segment's per-chunk time columns.
 """
 
 from __future__ import annotations
@@ -34,10 +42,15 @@ import bisect
 import itertools
 import threading
 import time
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.fabric.errors import OffsetOutOfRangeError, RecordTooLargeError
-from repro.fabric.record import EventRecord, StoredRecord
+from repro.fabric.record import (
+    EventRecord,
+    PackedRecordBatch,
+    PackedView,
+    StoredRecord,
+)
 
 #: Default roll thresholds: the active segment is sealed once it holds
 #: this many records or bytes.  Small enough that seven-day retention
@@ -46,10 +59,10 @@ from repro.fabric.record import EventRecord, StoredRecord
 DEFAULT_SEGMENT_RECORDS = 4096
 DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
 
-#: Sparse-index granularity for compaction-gapped sealed segments: one
-#: index entry per this many records, so a lookup bisects the index and
-#: scans at most this many records.
-_INDEX_INTERVAL = 64
+#: Batches below this size ride the per-record tail path instead of
+#: becoming packed chunks: a stream of one-record produce calls must not
+#: degrade a segment into thousands of single-record chunks.
+_MIN_CHUNK_RECORDS = 4
 
 
 def _base_offset(segment: "LogSegment") -> int:
@@ -65,14 +78,20 @@ def _append_time(stored: StoredRecord) -> float:
 
 
 class LogSegment:
-    """One contiguous run of a partition's records.
+    """One run of a partition's records: packed chunks plus a tail.
 
-    A segment is *active* (mutable list of records, appended to under the
-    log's write lock, always offset-contiguous) until the log seals it,
-    after which it is immutable: its records become a tuple and — if
-    compaction ever punched offset gaps into it — a sparse offset index
-    is built for :meth:`locate`.  Readers may hold a reference across a
-    seal; both representations serve the same slicing protocol.
+    The record storage lives in a single atomically-swapped ``_state``
+    attribute ``(chunks, tail, cum)`` — ``chunks`` an immutable tuple of
+    :class:`PackedRecordBatch`, ``tail`` an append-only list of
+    :class:`StoredRecord` logically *after* every chunk, and ``cum`` a
+    prefix-sum tuple of chunk record counts (``cum[i]`` = records held by
+    ``chunks[:i]``) so position lookups bisect straight to the owning
+    chunk instead of walking the chunk list.  Readers
+    snapshot ``_state`` once and are then immune to later mutation:
+    chunk adoption swaps in a whole new state tuple, per-record appends
+    only ever extend the tail, and views bound the tail length at build
+    time.  Sealing packs the tail into a final chunk and freezes the
+    segment.
 
     ``min_append_time``/``max_append_time`` are *conservative covers* of
     the records' append times (exact until the segment is sliced at a
@@ -84,68 +103,73 @@ class LogSegment:
     __slots__ = (
         "base_offset",
         "end_offset",
-        "records",
         "size_bytes",
         "min_append_time",
         "max_append_time",
         "sealed",
         "contiguous",
-        "_index",
+        "count",
+        "_state",
     )
 
     def __init__(self, base_offset: int) -> None:
         self.base_offset = base_offset
         #: Offset the next record after this segment would take
-        #: (``records[-1].offset + 1`` once non-empty).
+        #: (last record's offset + 1 once non-empty).
         self.end_offset = base_offset
-        self.records: Sequence[StoredRecord] = []
         self.size_bytes = 0
         self.min_append_time: float = 0.0
         self.max_append_time: float = 0.0
         self.sealed = False
         self.contiguous = True
-        self._index: Optional[Tuple[int, ...]] = None
+        self.count = 0
+        self._state: Tuple[
+            Tuple[PackedRecordBatch, ...], List[StoredRecord], Tuple[int, ...]
+        ] = ((), [], (0,))
 
     @classmethod
     def sealed_from(cls, records: Sequence[StoredRecord]) -> "LogSegment":
         """Build an immutable segment from a non-empty, offset-ordered run."""
-        records = tuple(records)
-        segment = cls(records[0].offset)
-        segment.records = records
-        segment.end_offset = records[-1].offset + 1
-        size = 0
-        low = high = records[0].append_time
-        for stored in records:  # one pass: bytes and time bounds together
-            size += stored.size_bytes()
-            when = stored.append_time
-            if when < low:
-                low = when
-            elif when > high:
-                high = when
-        segment.size_bytes = size
-        segment.min_append_time = low
-        segment.max_append_time = high
-        segment.contiguous = (
-            records[-1].offset - records[0].offset == len(records) - 1
-        )
-        segment.seal()
+        chunk = PackedRecordBatch.from_stored(records)
+        segment = cls(chunk.base_offset)
+        segment._state = ((chunk,), [], (0, len(chunk)))
+        segment.end_offset = chunk.end_offset
+        segment.size_bytes = chunk.size_bytes
+        segment.min_append_time = chunk.min_append_time
+        segment.max_append_time = chunk.max_append_time
+        segment.contiguous = chunk.contiguous
+        segment.count = len(chunk)
+        segment.sealed = True
         return segment
 
     def seal(self) -> None:
-        """Freeze the segment: records become a tuple, gapped segments
-        get their sparse offset index.  Holders of the old list keep a
-        valid (identical) view."""
-        self.records = tuple(self.records)
-        if not self.contiguous:
-            self._index = tuple(
-                self.records[i].offset
-                for i in range(0, len(self.records), _INDEX_INTERVAL)
+        """Freeze the segment: the tail (if any) is packed into a final
+        chunk.  Holders of the old state keep a valid (identical) view."""
+        chunks, tail, cum = self._state
+        if tail:
+            self._state = (
+                chunks + (PackedRecordBatch.from_stored(tail),),
+                [],
+                cum + (cum[-1] + len(tail),),
             )
         self.sealed = True
 
+    @property
+    def records(self) -> PackedView:
+        """The segment's records as a lazy, list-like view."""
+        chunks, tail, cum = self._state
+        runs: List[tuple] = [
+            (chunk, 0, cum[i + 1] - cum[i]) for i, chunk in enumerate(chunks)
+        ]
+        length = cum[-1]
+        if tail:
+            runs.append((tail, 0, len(tail)))
+            length += len(tail)
+        return PackedView(tuple(runs), length)
+
     # -- mutation (caller holds the owning log's write lock) ----------- #
     def append(self, stored: StoredRecord) -> None:
-        if not self.records:
+        if self.count == 0:
             self.base_offset = stored.offset
             self.min_append_time = stored.append_time
             self.max_append_time = stored.append_time
@@ -155,86 +179,171 @@ class LogSegment:
                 self.min_append_time = when
             if when > self.max_append_time:
                 self.max_append_time = when
-        self.records.append(stored)
+        self._state[1].append(stored)
         self.end_offset = stored.offset + 1
+        self.count += 1
         self.size_bytes += stored.size_bytes()
 
-    def extend_batch(
-        self, stored: List[StoredRecord], batch_bytes: int, when: float
-    ) -> None:
-        """Adopt a whole same-append-time batch in one list extend."""
-        if not self.records:
-            self.base_offset = stored[0].offset
-            self.min_append_time = when
-            self.max_append_time = when
+    def append_chunk(self, chunk: PackedRecordBatch) -> None:
+        """Adopt a packed batch by reference as the segment's next chunk.
+
+        A pending tail is packed first so chunks stay in offset order;
+        the whole transition is one ``_state`` swap, invisible to
+        concurrent readers of the previous state.
+        """
+        chunks, tail, cum = self._state
+        if tail:
+            packed_tail = PackedRecordBatch.from_stored(tail)
+            mid = cum[-1] + len(packed_tail)
+            self._state = (
+                chunks + (packed_tail, chunk),
+                [],
+                cum + (mid, mid + len(chunk)),
+            )
         else:
-            if when < self.min_append_time:
-                self.min_append_time = when
-            if when > self.max_append_time:
-                self.max_append_time = when
-        self.records.extend(stored)
-        self.end_offset = stored[-1].offset + 1
-        self.size_bytes += batch_bytes
+            self._state = (chunks + (chunk,), tail, cum + (cum[-1] + len(chunk),))
+        if self.count == 0:
+            self.base_offset = chunk.base_offset
+            self.min_append_time = chunk.min_append_time
+            self.max_append_time = chunk.max_append_time
+            self.contiguous = chunk.contiguous
+        else:
+            if chunk.min_append_time < self.min_append_time:
+                self.min_append_time = chunk.min_append_time
+            if chunk.max_append_time > self.max_append_time:
+                self.max_append_time = chunk.max_append_time
+            if chunk.base_offset != self.end_offset or not chunk.contiguous:
+                self.contiguous = False
+        self.end_offset = chunk.end_offset
+        self.count += len(chunk)
+        self.size_bytes += chunk.size_bytes
 
     # -- lookup (safe without the write lock) -------------------------- #
     def locate(self, offset: int) -> int:
         """Index of the first record with offset >= ``offset``.
 
         O(1) for contiguous segments; gapped (compacted) segments bisect
-        the sparse index and scan at most ``_INDEX_INTERVAL`` records.
+        each chunk's offset table.
         """
         if self.contiguous:
             position = offset - self.base_offset
             return 0 if position < 0 else position
-        position = 0
-        index = self._index
-        if index:
-            entry = bisect.bisect_right(index, offset) - 1
-            if entry > 0:
-                position = entry * _INDEX_INTERVAL
-        records = self.records
-        length = len(records)
-        while position < length and records[position].offset < offset:
-            position += 1
+        chunks, tail, cum = self._state
+        position = cum[-1]
+        for index, chunk in enumerate(chunks):
+            if offset < chunk.end_offset:
+                return cum[index] + chunk.index_of_offset(offset)
+        if tail:
+            length = len(tail)
+            delta = offset - tail[0].offset
+            if delta < 0:
+                delta = 0
+            return position + (delta if delta < length else length)
         return position
 
-    def slice_from(self, position: int) -> "LogSegment":
-        """New segment holding ``records[position:]`` (truncation boundary).
+    def runs_from(self, position: int, needed: Optional[int] = None) -> List[tuple]:
+        """The ``(source, start, stop)`` runs covering records from
+        logical ``position`` on — the currency of the fetch path.
 
-        Byte accounting scans only the *smaller* of the dropped/kept sides
-        (subtracting from the cached total otherwise), and the time bounds
-        are inherited from the parent as a **conservative cover** — the
-        time searches tolerate covers by falling through to the next
-        segment, so the boundary rebuild never re-walks the whole segment.
+        The prefix-sum column bisects straight to the chunk owning
+        ``position``; with ``needed`` the walk stops as soon as that many
+        records are covered (the last run may overshoot — the caller
+        truncates), so a bounded fetch pays O(log chunks + runs used).
         """
-        kept = self.records[position:]
-        fresh = LogSegment(kept[0].offset)
-        fresh.end_offset = kept[-1].offset + 1
-        if position * 2 <= len(self.records):
-            fresh.size_bytes = self.size_bytes - sum(
-                stored.size_bytes() for stored in self.records[:position]
-            )
+        chunks, tail, cum = self._state
+        runs: List[tuple] = []
+        total = cum[-1]
+        if position < total:
+            index = bisect.bisect_right(cum, position) - 1
+            start = position - cum[index]
+            for j in range(index, len(chunks)):
+                length = cum[j + 1] - cum[j]
+                runs.append((chunks[j], start, length))
+                if needed is not None:
+                    needed -= length - start
+                    if needed <= 0:
+                        return runs
+                start = 0
+            position = 0
         else:
-            fresh.size_bytes = sum(stored.size_bytes() for stored in kept)
+            position -= total
+        length = len(tail)
+        if position < length:
+            runs.append((tail, position, length))
+        return runs
+
+    def first_offset_at_or_after_time(self, timestamp: float) -> Optional[int]:
+        """Offset of the first record with append time >= ``timestamp``,
+        assuming (as the log guarantees) non-decreasing append times."""
+        chunks, tail, _ = self._state
+        for chunk in chunks:
+            if chunk.max_append_time < timestamp:
+                continue
+            index = chunk.first_index_at_or_after_time(timestamp)
+            if index < len(chunk):
+                return chunk.offset_at(index)
+        length = len(tail)
+        if length:
+            index = bisect.bisect_left(tail, timestamp, 0, length, key=_append_time)
+            if index < length:
+                return tail[index].offset
+        return None
+
+    def slice_from(self, position: int) -> "LogSegment":
+        """New segment holding the records from ``position`` on
+        (truncation boundary).
+
+        Chunks wholly past the boundary are kept by reference; at most
+        one chunk is sliced (itself sharing the parent's payload and
+        record tuple), so the rebuild is O(runs), not O(records).  Time
+        bounds are inherited from the parent as a **conservative
+        cover** — the time searches tolerate covers by falling through
+        to the next segment.
+        """
+        runs = self.runs_from(position)
+        chunks: List[PackedRecordBatch] = []
+        tail: List[StoredRecord] = []
+        kept = 0
+        size = 0
+        first_offset = None
+        for source, start, stop in runs:
+            kept += stop - start
+            if isinstance(source, PackedRecordBatch):
+                piece = source.slice(start, stop)
+                chunks.append(piece)
+                size += piece.size_bytes
+                if first_offset is None:
+                    first_offset = piece.base_offset
+            else:
+                tail = list(source[start:stop])
+                for stored in tail:
+                    size += stored.size_bytes()
+                if first_offset is None:
+                    first_offset = tail[0].offset
+        fresh = LogSegment(first_offset)
+        cum = [0]
+        for piece in chunks:
+            cum.append(cum[-1] + len(piece))
+        fresh._state = (tuple(chunks), tail, tuple(cum))
+        fresh.end_offset = self.end_offset
+        fresh.count = kept
+        fresh.size_bytes = size
         fresh.min_append_time = self.min_append_time
         fresh.max_append_time = self.max_append_time
-        fresh.contiguous = kept[-1].offset - kept[0].offset == len(kept) - 1
+        fresh.contiguous = fresh.end_offset - fresh.base_offset == kept
         if self.sealed:
-            fresh.records = kept  # already an immutable tuple slice
             fresh.seal()
-        else:
-            fresh.records = list(kept)
         return fresh
 
     def describe(self) -> dict:
-        records = self.records
+        count = self.count
         return {
             "base_offset": self.base_offset,
             "end_offset": self.end_offset,
-            "records": len(records),
+            "records": count,
             "size_bytes": self.size_bytes,
-            "min_append_time": self.min_append_time if records else None,
-            "max_append_time": self.max_append_time if records else None,
+            "min_append_time": self.min_append_time if count else None,
+            "max_append_time": self.max_append_time if count else None,
             "sealed": self.sealed,
             "contiguous": self.contiguous,
         }
@@ -264,8 +373,8 @@ class PartitionLog:
     ``size_bytes``, ``read_all``) never take it: they snapshot
     ``_next_offset`` *then* the segment tuple (appends publish records
     before advancing ``_next_offset``, so every offset below the snapshot
-    is reachable) and serve from immutable sealed segments plus the
-    append-only active record list.
+    is reachable) and serve from immutable packed chunks plus the
+    append-only active tail.
     """
 
     def __init__(
@@ -318,7 +427,7 @@ class PartitionLog:
 
     def __len__(self) -> int:
         with self._lock:
-            return sum(len(segment.records) for segment in self._segments)
+            return sum(segment.count for segment in self._segments)
 
     @property
     def size_bytes(self) -> int:
@@ -341,8 +450,8 @@ class PartitionLog:
     # Segment lifecycle (callers hold the write lock)
     # ------------------------------------------------------------------ #
     def _should_roll(self, active: LogSegment) -> bool:
-        return bool(active.records) and (
-            len(active.records) >= self.segment_records
+        return active.count > 0 and (
+            active.count >= self.segment_records
             or active.size_bytes >= self.segment_bytes
         )
 
@@ -406,95 +515,187 @@ class PartitionLog:
             return offset
 
     def append_batch(
-        self, records: Iterable[EventRecord], append_time: Optional[float] = None
+        self,
+        records: Union[Iterable[EventRecord], PackedRecordBatch],
+        append_time: Optional[float] = None,
     ) -> list[int]:
         """Append every record under one lock acquisition; return their offsets.
 
         The batch is atomic: sizes are validated up front, so either every
         record receives a contiguous offset or none does.  This is the leader
-        half of the batched produce path — one lock round-trip per batch
-        instead of one per record.  A batch that fits the active segment is
-        adopted in a single list extend; oversize batches roll segments as
-        they go.
+        half of the batched produce path — an already-packed batch (or one
+        packed here) is adopted as segment chunks *by reference*, one lock
+        round-trip and zero per-record materialisation; oversize batches
+        roll segments as they go.
         """
-        records = list(records)
-        if not records:
-            return []
-        sizes = [record.size_bytes() for record in records]
-        for size in sizes:
-            if size > self.max_message_bytes:
-                raise RecordTooLargeError(
-                    f"record of {size} B exceeds max.message.bytes="
-                    f"{self.max_message_bytes} for {self.topic}-{self.partition}"
-                )
-        batch_bytes = sum(sizes)
+        if not isinstance(records, PackedRecordBatch):
+            records = PackedRecordBatch.from_events(list(records))
+        stamped = self.append_packed(records, append_time)
+        return list(range(stamped.base_offset, stamped.end_offset))
+
+    def append_packed(
+        self,
+        packed: PackedRecordBatch,
+        append_time: Optional[float] = None,
+    ) -> "PackedRecordBatch":
+        """Adopt a packed batch under leader-assigned offsets.
+
+        Returns the restamped batch (sharing the caller's records and
+        payload) so the produce path can forward the *same* object to the
+        canonical partition, persistence sinks and producer metadata
+        without re-reading the log.  Batches below the chunk-size floor
+        devolve to the per-record tail path.
+        """
+        length = len(packed)
+        if packed.max_record_size > self.max_message_bytes:
+            for size in packed.sizes:
+                if size > self.max_message_bytes:
+                    raise RecordTooLargeError(
+                        f"record of {size} B exceeds max.message.bytes="
+                        f"{self.max_message_bytes} for {self.topic}-{self.partition}"
+                    )
         with self._lock:
+            if length == 0:
+                return packed.with_offsets(self._next_offset, self._last_append_time)
             when = self._assign_time(append_time)
             base = self._next_offset
-            offsets = list(range(base, base + len(records)))
-            stored = [
-                StoredRecord(offset=offset, record=record, append_time=when)
-                for offset, record in zip(offsets, records)
-            ]
-            active = self._segments[-1]
-            if self._should_roll(active):
-                active = self._roll_active(base)
-            if (
-                len(active.records) + len(stored) <= self.segment_records
-                and active.size_bytes + batch_bytes <= self.segment_bytes
-            ):
-                active.extend_batch(stored, batch_bytes, when)
-            else:
-                for item in stored:
+            stamped = packed.with_offsets(base, when)
+            if length < _MIN_CHUNK_RECORDS:
+                active = self._segments[-1]
+                for index in range(length):
                     if self._should_roll(active):
-                        active = self._roll_active(item.offset)
-                    active.append(item)
-            self._next_offset = base + len(records)
-            self._total_appended += len(records)
-            self._total_bytes += batch_bytes
-            return offsets
+                        active = self._roll_active(base + index)
+                    active.append(stamped.stored_at(index))
+            else:
+                self._place_chunk(stamped)
+            self._next_offset = base + length
+            self._total_appended += length
+            self._total_bytes += stamped.size_bytes
+            return stamped
 
-    def append_stored(self, records: Iterable[StoredRecord]) -> int:
+    def _chunk_take(
+        self, active: LogSegment, chunk: PackedRecordBatch, index: int, remaining: int
+    ) -> int:
+        """How many records of ``chunk[index:]`` the active segment takes
+        before the per-record roll check would fire (>= 1: the caller
+        rolls first whenever the segment is already due)."""
+        if active.count:
+            by_count = self.segment_records - active.count
+        else:
+            by_count = self.segment_records
+        cum = chunk._cum
+        target = cum[index] + (self.segment_bytes - active.size_bytes)
+        by_bytes = bisect.bisect_left(cum, target, index, index + remaining) - index
+        take = min(remaining, by_count, by_bytes)
+        return take if take > 0 else 1
+
+    def _place_chunk(self, chunk: PackedRecordBatch) -> None:
+        """Distribute one stamped chunk over the active segment, slicing
+        only at roll boundaries (same boundaries the per-record path
+        would produce)."""
+        active = self._segments[-1]
+        index = 0
+        length = len(chunk)
+        while index < length:
+            first_offset = chunk.offset_at(index)
+            if self._should_roll(active) or (
+                active.count and first_offset != active.end_offset
+            ):
+                active = self._roll_active(first_offset)
+            take = self._chunk_take(active, chunk, index, length - index)
+            active.append_chunk(chunk.slice(index, index + take))
+            index += take
+
+    def append_stored(
+        self,
+        records: Union[Iterable[StoredRecord], PackedRecordBatch, PackedView],
+    ) -> int:
         """Follower path: adopt leader-assigned offsets for missing records.
 
         Records at offsets the replica already holds are skipped; the rest
         are appended under one lock acquisition, preserving the leader's
-        offsets.  A leader-side compaction gap rolls the active segment so
-        the active segment stays offset-contiguous (gaps live only between
-        segments or inside sealed, indexed ones).  Returns the new log end
+        offsets.  Packed chunks (what a leader fetch view carries) are
+        adopted *by reference* — sliced, never re-encoded — so replication
+        and canonical mirroring forward the leader's bytes verbatim.  A
+        leader-side compaction gap rolls the active segment so the active
+        segment stays offset-contiguous (gaps live only between segments
+        or inside sealed chunks' offset tables).  Returns the new log end
         offset.
         """
+        if isinstance(records, PackedRecordBatch):
+            runs: Sequence[tuple] = ((records, 0, len(records)),)
+        elif isinstance(records, PackedView):
+            runs = records.runs()
+        else:
+            materialized = list(records)
+            runs = ((materialized, 0, len(materialized)),)
         with self._lock:
-            fresh = [s for s in records if s.offset >= self._next_offset]
-            if not fresh:
-                return self._next_offset
-            active = self._segments[-1]
-            added_bytes = 0
-            for stored in fresh:
-                if self._should_roll(active) or (
-                    active.records and stored.offset != active.end_offset
-                ):
-                    active = self._roll_active(stored.offset)
-                active.append(stored)
-                self._next_offset = stored.offset + 1
-                added_bytes += stored.size_bytes()
-                if stored.append_time > self._last_append_time:
-                    self._last_append_time = stored.append_time
-            self._total_appended += len(fresh)
-            self._total_bytes += added_bytes
+            for source, start, stop in runs:
+                if isinstance(source, PackedRecordBatch):
+                    self._adopt_chunk_locked(source, start, stop)
+                else:
+                    self._adopt_stored_locked(source, start, stop)
             return self._next_offset
+
+    def _adopt_stored_locked(
+        self, source: Sequence[StoredRecord], start: int, stop: int
+    ) -> None:
+        active = self._segments[-1]
+        added = 0
+        added_bytes = 0
+        for index in range(start, stop):
+            stored = source[index]
+            if stored.offset < self._next_offset:
+                continue
+            if self._should_roll(active) or (
+                active.count and stored.offset != active.end_offset
+            ):
+                active = self._roll_active(stored.offset)
+            active.append(stored)
+            self._next_offset = stored.offset + 1
+            added += 1
+            added_bytes += stored.size_bytes()
+            if stored.append_time > self._last_append_time:
+                self._last_append_time = stored.append_time
+        self._total_appended += added
+        self._total_bytes += added_bytes
+
+    def _adopt_chunk_locked(
+        self, chunk: PackedRecordBatch, start: int, stop: int
+    ) -> None:
+        next_offset = self._next_offset
+        if chunk.end_offset <= next_offset:
+            return  # the replica already holds this whole run
+        skip = chunk.index_of_offset(next_offset)
+        if skip > start:
+            start = skip
+        if start >= stop:
+            return
+        length = stop - start
+        if length < _MIN_CHUNK_RECORDS:
+            self._adopt_stored_locked(chunk, start, stop)
+            return
+        sub = chunk.slice(start, stop)
+        self._place_chunk(sub)
+        self._next_offset = sub.end_offset
+        self._total_appended += length
+        self._total_bytes += sub.size_bytes
+        if sub.max_append_time > self._last_append_time:
+            self._last_append_time = sub.max_append_time
 
     def fetch(
         self,
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
-    ) -> list[StoredRecord]:
+    ) -> Sequence[StoredRecord]:
         """Return up to ``max_records`` records starting at ``offset``.
 
         Fetching exactly at the log end returns an empty list (the consumer
         is caught up).  Fetching below the log start or beyond the end
         raises :class:`OffsetOutOfRangeError`, matching Kafka semantics.
+        The result is a lazy :class:`PackedView` over the log's packed
+        chunks — list-compatible, decoded only on access.
         """
         return self.fetch_with_usage(
             offset, max_records=max_records, max_bytes=max_bytes
@@ -505,19 +706,21 @@ class PartitionLog:
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
-    ) -> tuple[list[StoredRecord], int]:
+    ) -> tuple[Sequence[StoredRecord], int]:
         """Like :meth:`fetch` but also returns the bytes consumed.
 
         The byte count lets a caller serving several partitions (a fetch
         session) charge this partition's records against a budget shared
         across the whole session instead of granting ``max_bytes`` to each
         partition independently.  With ``max_bytes=None`` no budget exists
-        and the reported usage is ``0`` (the replication fast path keeps
-        its plain slices, paying nothing for accounting).
+        and the reported usage is ``0`` (the replication fast path pays
+        nothing for accounting).
 
         Runs entirely without the write lock: the segment tuple is
-        snapshotted and sealed segments are immutable, so fetches of old
-        data never contend with appends.
+        snapshotted and chunks are immutable, so fetches of old data
+        never contend with appends.  The byte-budget walk bisects each
+        chunk's size prefix sums — O(runs · log chunk) — instead of
+        sizing records one by one.
         """
         end = self._next_offset
         if offset == end:
@@ -541,36 +744,78 @@ class PartitionLog:
         if first < 0:
             first = 0
         position = segments[first].locate(offset)
-        out: list[StoredRecord] = []
+        runs: List[tuple] = []
         if max_bytes is None:
-            # No byte budget: plain slices (the replication fast path).
+            # No byte budget: gather whole runs (the replication path).
             needed = max_records
             for segment in segments[first:]:
-                records = segment.records
-                if position < len(records):
-                    taken = records[position : position + needed]
-                    out.extend(taken)
-                    needed -= len(taken)
+                for source, run_start, run_stop in segment.runs_from(
+                    position, needed
+                ):
+                    span = run_stop - run_start
+                    if span > needed:
+                        run_stop = run_start + needed
+                        span = needed
+                    runs.append((source, run_start, run_stop))
+                    needed -= span
                     if needed <= 0:
                         break
+                if needed <= 0:
+                    break
                 position = 0
-            return out, 0
+            if not runs:
+                return [], 0
+            return PackedView(tuple(runs), max_records - needed), 0
         budget = max_bytes
+        taken = 0
+        done = False
         for segment in segments[first:]:
-            records = segment.records
-            length = len(records)
-            while position < length:
-                if len(out) >= max_records:
-                    return out, max_bytes - budget
-                stored = records[position]
-                size = stored.size_bytes()
-                if out and size > budget:
-                    return out, max_bytes - budget
-                out.append(stored)
-                budget -= size
-                position += 1
+            for source, run_start, run_stop in segment.runs_from(
+                position, max_records - taken
+            ):
+                while run_start < run_stop and not done:
+                    if taken >= max_records:
+                        done = True
+                        break
+                    if isinstance(source, PackedRecordBatch):
+                        if taken and budget <= 0:
+                            done = True
+                            break
+                        limit = min(run_stop, run_start + max_records - taken)
+                        grant = source.take_within(run_start, limit, budget)
+                        if grant <= 0:
+                            if taken:
+                                done = True
+                                break
+                            grant = 1  # make progress: the first record is always granted
+                        runs.append((source, run_start, run_start + grant))
+                        budget -= source.size_range(run_start, run_start + grant)
+                        taken += grant
+                        if grant < limit - run_start:
+                            done = True  # byte budget stopped inside the run
+                        run_start += grant
+                    else:
+                        index = run_start
+                        while index < run_stop and taken < max_records:
+                            size = source[index].size_bytes()
+                            if taken and size > budget:
+                                break
+                            budget -= size
+                            taken += 1
+                            index += 1
+                        if index > run_start:
+                            runs.append((source, run_start, index))
+                        if index < run_stop:
+                            done = True
+                        run_start = index
+                if done:
+                    break
+            if done:
+                break
             position = 0
-        return out, max_bytes - budget
+        if not runs:
+            return [], max_bytes - budget
+        return PackedView(tuple(runs), taken), max_bytes - budget
 
     def read_all(self) -> Sequence[StoredRecord]:
         """Snapshot of every retained record (testing/persistence helper)."""
@@ -591,28 +836,27 @@ class PartitionLog:
         which this log keeps monotonically non-decreasing — *not* on the
         client-supplied ``record.timestamp``, which carries no ordering
         guarantee (producers may ship arbitrary or out-of-order
-        timestamps).  Binary-searches per-segment time bounds, then one
-        segment's records.  Returns ``None`` when every retained record is
-        older than ``timestamp``.
+        timestamps).  Binary-searches per-segment time covers, then one
+        segment's per-chunk time columns.  Returns ``None`` when every
+        retained record is older than ``timestamp``.
         """
         segments = self._segments
-        if not segments[-1].records:
+        if not segments[-1].count:
             segments = segments[:-1]  # only the active segment may be empty
         if not segments:
             return None
         first = bisect.bisect_left(segments, timestamp, key=_max_append_time)
         for segment in segments[first:]:
-            records = segment.records
-            if not records:
+            if not segment.count:
                 continue
             if segment.min_append_time >= timestamp:
                 # The whole segment is at/after the timestamp: its first
                 # record answers without scanning — only the one segment
                 # that straddles the timestamp is ever searched.
-                return records[0].offset
-            index = bisect.bisect_left(records, timestamp, key=_append_time)
-            if index < len(records):
-                return records[index].offset
+                return segment.base_offset
+            found = segment.first_offset_at_or_after_time(timestamp)
+            if found is not None:
+                return found
         return None
 
     # ------------------------------------------------------------------ #
@@ -622,9 +866,10 @@ class PartitionLog:
         """Drop records with offsets strictly below ``offset``.
 
         Whole sealed segments below the cutoff are dropped by pointer; at
-        most one boundary segment is rebuilt, so a retention run costs
-        O(segments + one segment scan), not O(retained records).  Returns
-        the number of records removed.  Used by time/size retention.
+        most one boundary segment is rebuilt (and inside it at most one
+        chunk is sliced), so a retention run costs O(segments + one
+        segment's runs), not O(retained records).  Returns the number of
+        records removed.  Used by time/size retention.
         """
         with self._lock:
             offset = max(offset, self._log_start_offset)
@@ -634,7 +879,7 @@ class PartitionLog:
             kept: List[LogSegment] = []
             for index, segment in enumerate(segments):
                 if segment.end_offset <= offset:
-                    removed += len(segment.records)
+                    removed += segment.count
                     continue  # whole-segment drop: no record is touched
                 if segment.base_offset < offset:
                     position = segment.locate(offset)
@@ -660,7 +905,7 @@ class PartitionLog:
 
         Sums cached per-segment sizes (O(segments)); only the boundary
         segment — where dropping the whole thing would over-shoot — is
-        scanned record by record, preserving the record-granular semantics
+        walked record-granularly, preserving the record-granular semantics
         of the flat implementation.
         """
         segments = self._segments
@@ -673,11 +918,19 @@ class PartitionLog:
                 total -= segment.size_bytes
                 cutoff = segment.end_offset
                 continue  # dropping all of it still leaves us over: drop whole
-            for stored in segment.records:
-                if total <= retention_bytes:
-                    break
-                total -= stored.size_bytes()
-                cutoff = stored.offset + 1
+            for source, start, stop in segment.runs_from(0):
+                if isinstance(source, PackedRecordBatch):
+                    for index in range(start, stop):
+                        if total <= retention_bytes:
+                            return cutoff
+                        total -= source.size_at(index)
+                        cutoff = source.offset_at(index) + 1
+                else:
+                    for index in range(start, stop):
+                        if total <= retention_bytes:
+                            return cutoff
+                        total -= source[index].size_bytes()
+                        cutoff = source[index].offset + 1
             break
         return cutoff
 
@@ -689,9 +942,9 @@ class PartitionLog:
         so records appended concurrently are never lost — the lost-append
         race of the old snapshot/filter/replace dance is structurally
         impossible.  Untouched segments keep their objects; filtered ones
-        are rebuilt sealed (with their sparse offset index), and a fresh
-        active segment reopens at the log end.  Returns the number of
-        records removed.
+        are rebuilt sealed (fresh packed chunks, so views handed out before
+        the compaction keep serving the old bytes).  A fresh active segment
+        reopens at the log end.  Returns the number of records removed.
         """
         with self._lock:
             latest_for_key: dict[str, int] = {}

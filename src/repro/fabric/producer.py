@@ -143,7 +143,7 @@ class FabricProducer:
             value=value,
             key=key,
             headers=dict(headers or {}),
-            timestamp=timestamp if timestamp is not None else time.time(),
+            timestamp=timestamp if timestamp is not None else self._clock.now(),
         )
         target = self._select_partition(topic, key, partition)
         return self._send_with_retries(topic, target, record)
@@ -166,8 +166,9 @@ class FabricProducer:
         self._ensure_open()
         slots: List[Optional[RecordMetadata]] = [None] * len(values)
         groups: Dict[int, List[tuple[int, EventRecord]]] = {}
+        now = self._clock.now()
         for index, value in enumerate(values):
-            record = EventRecord(value=value, key=key)
+            record = EventRecord(value=value, key=key, timestamp=now)
             target = self._select_partition(topic, key, partition)
             groups.setdefault(target, []).append((index, record))
         for target, items in groups.items():
@@ -187,7 +188,7 @@ class FabricProducer:
         would be exceeded.
         """
         self._ensure_open()
-        record = EventRecord(value=value, key=key)
+        record = EventRecord(value=value, key=key, timestamp=self._clock.now())
         size = record.size_bytes()
         with self._lock:
             if self._buffered_bytes + size > self.config.buffer_memory_bytes:
@@ -411,7 +412,9 @@ class FabricProducer:
                 metadata = self._cluster.append_batch(
                     batch.topic,
                     batch.partition,
-                    batch.records(),
+                    # Seal once: the same packed batch object becomes the
+                    # leader log's storage chunk (no per-record re-encode).
+                    batch.sealed_packed(),
                     acks=self.config.acks,
                     principal=self._principal,
                 )

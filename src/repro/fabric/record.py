@@ -5,17 +5,58 @@ optional headers and a timestamp.  Scientific events (Section III of the
 paper) range from 32 B telemetry samples to multi-kilobyte instrument
 snapshots, so the record type tracks its serialized size explicitly — the
 performance model and the broker quotas are driven by it.
+
+Packed batch layout
+-------------------
+:class:`PackedRecordBatch` is the one-encode representation shared by the
+whole data plane: the producer seals a wire batch into packed form once,
+the partition log adopts the same object as a sealed segment chunk,
+fetch responses expose slices of it (:class:`PackedView`), and
+replication/MirrorMaker forward it by reference — a record is encoded at
+most once between produce and delivery.  The (lazily materialised) wire
+image is, per batch::
+
+    record[0] .. record[n-1]           # n from the offset table
+
+and per record::
+
+    timestamp   : f64 big-endian
+    key frame   : tag u8 | length u32 | body
+    value frame : tag u8 | length u32 | body
+    headers     : count u16, then per header
+                  name length u16 | name utf-8 | value frame
+
+Frame tags: ``0`` None (empty body), ``1`` raw bytes, ``2`` utf-8 text,
+``3`` canonical JSON (:func:`repro.fabric.serde.serialize`).  Alongside
+the payload the batch carries the columns the storage layer actually
+serves from without decoding anything: a base offset plus per-record
+offset table (elided while offsets are contiguous), per-record append
+times (elided while uniform), per-record serialized sizes with their
+prefix sums (byte-budget fetches bisect instead of walking), and
+min/max append-time covers for retention and timestamp lookup.
 """
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import json
+import struct
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, NamedTuple, Sequence
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-from repro.fabric.serde import serialized_size
+from repro.fabric.serde import serialize, serialized_size
 
 _record_counter = itertools.count()
 
@@ -142,6 +183,597 @@ class RecordMetadata(NamedTuple):
     serialized_size: int
 
 
+_TS = struct.Struct(">d")
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+
+_TAG_NONE = 0
+_TAG_BYTES = 1
+_TAG_STR = 2
+_TAG_JSON = 3
+
+
+def _pack_frame(value: Any, pieces: list) -> None:
+    if value is None:
+        pieces.append(b"\x00\x00\x00\x00\x00")
+        return
+    if isinstance(value, (bytes, bytearray)):
+        tag, body = _TAG_BYTES, bytes(value)
+    else:
+        body = serialize(value)
+        tag = _TAG_STR if isinstance(value, str) else _TAG_JSON
+    pieces.append(_U8.pack(tag))
+    pieces.append(_U32.pack(len(body)))
+    pieces.append(body)
+
+
+def _unpack_frame(buffer: bytes, position: int) -> tuple:
+    tag = buffer[position]
+    (length,) = _U32.unpack_from(buffer, position + 1)
+    position += 5
+    body = buffer[position : position + length]
+    position += length
+    if tag == _TAG_NONE:
+        return None, position
+    if tag == _TAG_BYTES:
+        return bytes(body), position
+    if tag == _TAG_STR:
+        return body.decode("utf-8"), position
+    return json.loads(body.decode("utf-8")), position
+
+
+#: A header overlay: ``(fn, source_base, source_offsets)``.  ``fn`` maps a
+#: record's *source* offset (captured when the overlay was attached, so
+#: restamping under new offsets keeps the provenance intact) to extra
+#: headers merged in at decode time.
+_Overlay = Tuple[Callable[[int], Mapping[str, str]], int, Optional[Tuple[int, ...]]]
+
+
+class PackedRecordBatch:
+    """An immutable, offset-stamped run of records packed as one unit.
+
+    See the module docstring for the wire layout.  Instances are created
+    once (producer seal, tail seal, follower adoption) and then shared by
+    reference across the leader log, the canonical partition, every
+    follower replica and any fetch view — nothing downstream re-encodes
+    or copies the records.  All derived forms (:meth:`slice`,
+    :meth:`with_offsets`, :meth:`with_header_overlay`) share the decoded
+    record tuple, the size columns and the payload bytes of the parent.
+
+    The decoded-record cache means an in-process round trip returns the
+    *same* :class:`EventRecord` objects that were produced; the byte
+    payload (:meth:`to_bytes`/:meth:`from_bytes`) is only materialised
+    when something actually needs wire bytes, and at most once.
+    """
+
+    __slots__ = (
+        "base_offset",
+        "end_offset",
+        "contiguous",
+        "min_append_time",
+        "max_append_time",
+        "size_bytes",
+        "_offsets",
+        "_append_times",
+        "_records",
+        "_sizes",
+        "_cum",
+        "_max_size",
+        "_payload",
+        "_frames",
+        "_overlay",
+        "_decoded",
+    )
+
+    def __init__(
+        self,
+        *,
+        base_offset: int,
+        end_offset: int,
+        contiguous: bool,
+        min_append_time: float,
+        max_append_time: float,
+        offsets: Optional[Tuple[int, ...]],
+        append_times: Optional[Tuple[float, ...]],
+        records: Optional[Tuple[EventRecord, ...]],
+        sizes: Tuple[int, ...],
+        payload: Optional[bytes] = None,
+        frames: Optional[Tuple[int, ...]] = None,
+        overlay: Optional[_Overlay] = None,
+    ) -> None:
+        self.base_offset = base_offset
+        self.end_offset = end_offset
+        self.contiguous = contiguous
+        self.min_append_time = min_append_time
+        self.max_append_time = max_append_time
+        self._offsets = offsets
+        self._append_times = append_times
+        self._records = records
+        self._sizes = sizes
+        cum = [0] * (len(sizes) + 1)
+        total = 0
+        for i, size in enumerate(sizes):
+            total += size
+            cum[i + 1] = total
+        self._cum = tuple(cum)
+        self.size_bytes = total
+        self._max_size = max(sizes) if sizes else 0
+        self._payload = payload
+        self._frames = frames
+        self._overlay = overlay
+        self._decoded: Optional[list] = None
+
+    # -- constructors -------------------------------------------------- #
+    @classmethod
+    def from_events(
+        cls,
+        records: Sequence[EventRecord],
+        *,
+        base_offset: int = 0,
+        append_time: float = 0.0,
+    ) -> "PackedRecordBatch":
+        """Seal a producer wire batch: contiguous offsets, uniform time."""
+        records = tuple(records)
+        return cls(
+            base_offset=base_offset,
+            end_offset=base_offset + len(records),
+            contiguous=True,
+            min_append_time=append_time,
+            max_append_time=append_time,
+            offsets=None,
+            append_times=None,
+            records=records,
+            sizes=tuple(record.size_bytes() for record in records),
+        )
+
+    @classmethod
+    def from_stored(cls, stored: Sequence[StoredRecord]) -> "PackedRecordBatch":
+        """Pack an offset-ordered run of already-stored records (tail seal,
+        compaction rebuild, adoption of a replicated per-record run)."""
+        stored = tuple(stored)
+        if not stored:
+            return cls.from_events(())
+        base = stored[0].offset
+        last = stored[-1].offset
+        contiguous = last - base == len(stored) - 1
+        offsets = None if contiguous else tuple(s.offset for s in stored)
+        times = tuple(s.append_time for s in stored)
+        low = min(times)
+        high = max(times)
+        uniform = low == high
+        return cls(
+            base_offset=base,
+            end_offset=last + 1,
+            contiguous=contiguous,
+            min_append_time=low,
+            max_append_time=high,
+            offsets=offsets,
+            append_times=None if uniform else times,
+            records=tuple(s.record for s in stored),
+            sizes=tuple(s.size_bytes() for s in stored),
+        )
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        *,
+        base_offset: int = 0,
+        append_time: float = 0.0,
+    ) -> "PackedRecordBatch":
+        """Parse the wire image produced by :meth:`to_bytes`.
+
+        Record ids are process-local and not part of the wire format, so
+        decoded records carry fresh ones.
+        """
+        (count,) = _U32.unpack_from(data, 0)
+        payload = data[4:]
+        frames = [0]
+        position = 0
+        records = []
+        for _ in range(count):
+            timestamp = _TS.unpack_from(payload, position)[0]
+            cursor = position + 8
+            key, cursor = _unpack_frame(payload, cursor)
+            value, cursor = _unpack_frame(payload, cursor)
+            (header_count,) = _U16.unpack_from(payload, cursor)
+            cursor += 2
+            headers = {}
+            for _ in range(header_count):
+                (name_length,) = _U16.unpack_from(payload, cursor)
+                cursor += 2
+                name = payload[cursor : cursor + name_length].decode("utf-8")
+                cursor += name_length
+                headers[name], cursor = _unpack_frame(payload, cursor)
+            records.append(
+                EventRecord(value=value, key=key, headers=headers, timestamp=timestamp)
+            )
+            frames.append(cursor)
+            position = cursor
+        records = tuple(records)
+        return cls(
+            base_offset=base_offset,
+            end_offset=base_offset + count,
+            contiguous=True,
+            min_append_time=append_time,
+            max_append_time=append_time,
+            offsets=None,
+            append_times=None,
+            records=records,
+            sizes=tuple(record.size_bytes() for record in records),
+            payload=payload,
+            frames=tuple(frames),
+        )
+
+    # -- derived forms (all share records/sizes/payload by reference) -- #
+    def with_offsets(self, base_offset: int, append_time: float) -> "PackedRecordBatch":
+        """Restamp under fresh contiguous offsets and one append time —
+        the leader assigning offsets at append, or a mirror destination
+        re-homing a source batch.  Shares every column with the parent."""
+        stamped = PackedRecordBatch.__new__(PackedRecordBatch)
+        stamped.base_offset = base_offset
+        stamped.end_offset = base_offset + len(self._sizes)
+        stamped.contiguous = True
+        stamped.min_append_time = append_time
+        stamped.max_append_time = append_time
+        stamped._offsets = None
+        stamped._append_times = None
+        stamped._records = self._records
+        stamped._sizes = self._sizes
+        stamped._cum = self._cum
+        stamped.size_bytes = self.size_bytes
+        stamped._max_size = self._max_size
+        stamped._payload = self._payload
+        stamped._frames = self._frames
+        stamped._overlay = self._overlay
+        stamped._decoded = self._decoded
+        return stamped
+
+    def with_header_overlay(
+        self, fn: Callable[[int], Mapping[str, str]]
+    ) -> "PackedRecordBatch":
+        """Attach per-record extra headers computed from the record's
+        *current* offset, merged lazily at decode time.  This is how
+        MirrorMaker forwards provenance without touching the payload:
+        the packed bytes stay byte-identical, the overlay rides alongside
+        and survives restamping on the destination."""
+        shadowed = PackedRecordBatch.__new__(PackedRecordBatch)
+        shadowed.base_offset = self.base_offset
+        shadowed.end_offset = self.end_offset
+        shadowed.contiguous = self.contiguous
+        shadowed.min_append_time = self.min_append_time
+        shadowed.max_append_time = self.max_append_time
+        shadowed._offsets = self._offsets
+        shadowed._append_times = self._append_times
+        shadowed._records = self._records
+        shadowed._sizes = self._sizes
+        shadowed._cum = self._cum
+        shadowed.size_bytes = self.size_bytes
+        shadowed._max_size = self._max_size
+        shadowed._payload = self._payload
+        shadowed._frames = self._frames
+        shadowed._overlay = (fn, self.base_offset, self._offsets)
+        shadowed._decoded = None
+        return shadowed
+
+    def slice(self, start: int, stop: int) -> "PackedRecordBatch":
+        """Sub-run ``[start:stop)`` sharing the parent's payload bytes
+        (the frame table is sliced, not re-encoded) and record tuple."""
+        n = len(self._sizes)
+        if start == 0 and stop == n:
+            return self
+        piece = PackedRecordBatch.__new__(PackedRecordBatch)
+        offsets = self._offsets
+        if offsets is None:
+            piece.base_offset = self.base_offset + start
+            piece.end_offset = self.base_offset + stop
+            piece._offsets = None
+            piece.contiguous = True
+        else:
+            sub = offsets[start:stop]
+            piece.base_offset = sub[0]
+            piece.end_offset = sub[-1] + 1
+            piece.contiguous = sub[-1] - sub[0] == len(sub) - 1
+            piece._offsets = None if piece.contiguous else sub
+        times = self._append_times
+        if times is None:
+            piece.min_append_time = self.min_append_time
+            piece.max_append_time = self.max_append_time
+            piece._append_times = None
+        else:
+            sub_times = times[start:stop]
+            piece.min_append_time = min(sub_times)
+            piece.max_append_time = max(sub_times)
+            piece._append_times = (
+                None if piece.min_append_time == piece.max_append_time else sub_times
+            )
+        records = self._records
+        piece._records = None if records is None else records[start:stop]
+        sizes = self._sizes[start:stop]
+        piece._sizes = sizes
+        cum = self._cum
+        shift = cum[start]
+        piece._cum = tuple(c - shift for c in cum[start : stop + 1])
+        piece.size_bytes = cum[stop] - shift
+        piece._max_size = max(sizes) if sizes else 0
+        frames = self._frames
+        piece._payload = self._payload
+        piece._frames = None if frames is None else frames[start : stop + 1]
+        overlay = self._overlay
+        if overlay is None:
+            piece._overlay = None
+        else:
+            fn, src_base, src_offsets = overlay
+            piece._overlay = (
+                fn,
+                src_base + start,
+                None if src_offsets is None else src_offsets[start:stop],
+            )
+        decoded = self._decoded
+        piece._decoded = None if decoded is None else decoded[start:stop]
+        return piece
+
+    # -- columnar accessors (no decoding) ------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        return self._sizes
+
+    @property
+    def max_record_size(self) -> int:
+        return self._max_size
+
+    def offset_at(self, index: int) -> int:
+        offsets = self._offsets
+        return self.base_offset + index if offsets is None else offsets[index]
+
+    def append_time_at(self, index: int) -> float:
+        times = self._append_times
+        return self.min_append_time if times is None else times[index]
+
+    def size_at(self, index: int) -> int:
+        return self._sizes[index]
+
+    def size_range(self, start: int, stop: int) -> int:
+        cum = self._cum
+        return cum[stop] - cum[start]
+
+    def index_of_offset(self, offset: int) -> int:
+        """Index of the first record with offset >= ``offset``."""
+        offsets = self._offsets
+        if offsets is None:
+            position = offset - self.base_offset
+            n = len(self._sizes)
+            return 0 if position < 0 else (position if position < n else n)
+        return bisect.bisect_left(offsets, offset)
+
+    def first_index_at_or_after_time(self, timestamp: float) -> int:
+        times = self._append_times
+        if times is None:
+            return 0 if self.min_append_time >= timestamp else len(self._sizes)
+        return bisect.bisect_left(times, timestamp)
+
+    def take_within(self, start: int, stop: int, budget: int) -> int:
+        """Greedy prefix of ``[start:stop)`` whose bytes fit ``budget``
+        (one bisection of the prefix sums, zero record decodes)."""
+        cum = self._cum
+        taken = bisect.bisect_right(cum, cum[start] + budget, start, stop + 1) - 1 - start
+        return taken if taken > 0 else 0
+
+    # -- decode (lazy, cached) ----------------------------------------- #
+    def timestamp_at(self, index: int) -> float:
+        records = self._records
+        if records is not None:
+            return records[index].timestamp
+        return self.record_at(index).timestamp
+
+    def record_at(self, index: int) -> EventRecord:
+        records = self._records
+        overlay = self._overlay
+        if overlay is None and records is not None:
+            return records[index]
+        decoded = self._decoded
+        if decoded is None:
+            decoded = [None] * len(self._sizes)
+            self._decoded = decoded
+        record = decoded[index]
+        if record is None:
+            record = records[index] if records is not None else self._decode_one(index)
+            if overlay is not None:
+                fn, src_base, src_offsets = overlay
+                source_offset = (
+                    src_base + index if src_offsets is None else src_offsets[index]
+                )
+                record = record.with_headers(**fn(source_offset))
+            decoded[index] = record
+        return record
+
+    def stored_at(self, index: int) -> StoredRecord:
+        return StoredRecord(
+            offset=self.offset_at(index),
+            record=self.record_at(index),
+            append_time=self.append_time_at(index),
+        )
+
+    def __getitem__(self, index: int) -> StoredRecord:
+        if index < 0:
+            index += len(self._sizes)
+        return self.stored_at(index)
+
+    def __iter__(self) -> Iterator[StoredRecord]:
+        for index in range(len(self._sizes)):
+            yield self.stored_at(index)
+
+    def _decode_one(self, index: int) -> EventRecord:
+        payload = self._payload
+        frames = self._frames
+        position = frames[index]
+        timestamp = _TS.unpack_from(payload, position)[0]
+        cursor = position + 8
+        key, cursor = _unpack_frame(payload, cursor)
+        value, cursor = _unpack_frame(payload, cursor)
+        (header_count,) = _U16.unpack_from(payload, cursor)
+        cursor += 2
+        headers = {}
+        for _ in range(header_count):
+            (name_length,) = _U16.unpack_from(payload, cursor)
+            cursor += 2
+            name = payload[cursor : cursor + name_length].decode("utf-8")
+            cursor += name_length
+            headers[name], cursor = _unpack_frame(payload, cursor)
+        return EventRecord(value=value, key=key, headers=headers, timestamp=timestamp)
+
+    # -- wire image ----------------------------------------------------- #
+    def ensure_payload(self) -> bytes:
+        """Materialise (once) and return the packed payload bytes.
+
+        The encode is deliberately lazy: the in-process data plane serves
+        everything from the shared record tuple and size columns, so the
+        bytes are only built when a connector actually asks for them —
+        and then cached so the answer never changes or repeats work."""
+        payload = self._payload
+        if payload is not None:
+            return payload
+        records = self._records
+        pieces: list = []
+        frames = [0]
+        total = 0
+        for record in records:
+            at = len(pieces)
+            pieces.append(_TS.pack(record.timestamp))
+            _pack_frame(record.key, pieces)
+            _pack_frame(record.value, pieces)
+            headers = record.headers
+            pieces.append(_U16.pack(len(headers)))
+            for name, value in headers.items():
+                encoded = name.encode("utf-8")
+                pieces.append(_U16.pack(len(encoded)))
+                pieces.append(encoded)
+                _pack_frame(value, pieces)
+            total += sum(len(piece) for piece in pieces[at:])
+            frames.append(total)
+        payload = b"".join(pieces)
+        self._frames = tuple(frames)
+        self._payload = payload
+        return payload
+
+    def to_bytes(self) -> bytes:
+        """Self-contained wire image: record count + packed payload."""
+        return _U32.pack(len(self._sizes)) + self.ensure_payload()
+
+
+class PackedView(Sequence):
+    """A zero-copy fetch response: a few ``(source, start, stop)`` runs.
+
+    Each run references either an immutable :class:`PackedRecordBatch`
+    chunk or the active segment's append-only tail list; nothing is
+    copied or decoded until a record is actually touched, so fetching a
+    window is O(runs) regardless of how many records it spans.  The view
+    behaves like the list of :class:`StoredRecord` the fetch APIs have
+    always returned (indexing, iteration, equality, ``+`` with lists).
+    """
+
+    __slots__ = ("_runs", "_length")
+
+    def __init__(self, runs: Tuple[tuple, ...], length: Optional[int] = None) -> None:
+        self._runs = runs
+        if length is None:
+            length = sum(stop - start for _, start, stop in runs)
+        self._length = length
+
+    @staticmethod
+    def wrap(records: Sequence) -> "PackedView":
+        if isinstance(records, PackedView):
+            return records
+        if isinstance(records, PackedRecordBatch):
+            return PackedView(((records, 0, len(records)),))
+        records = list(records)
+        return PackedView(((records, 0, len(records)),) if records else ())
+
+    def runs(self) -> Tuple[tuple, ...]:
+        return self._runs
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._length))]
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError(index)
+        for source, start, stop in self._runs:
+            span = stop - start
+            if index < span:
+                if isinstance(source, PackedRecordBatch):
+                    return source.stored_at(start + index)
+                return source[start + index]
+            index -= span
+        raise IndexError(index)  # unreachable
+
+    def __iter__(self) -> Iterator[StoredRecord]:
+        for source, start, stop in self._runs:
+            if isinstance(source, PackedRecordBatch):
+                for index in range(start, stop):
+                    yield source.stored_at(index)
+            else:
+                for index in range(start, stop):
+                    yield source[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (PackedView, list, tuple)):
+            if len(other) != self._length:
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __add__(self, other) -> list:
+        return list(self) + list(other)
+
+    def __radd__(self, other) -> list:
+        return list(other) + list(self)
+
+    def __repr__(self) -> str:
+        return f"PackedView({list(self)!r})"
+
+    def size_bytes(self) -> int:
+        """Total serialized bytes across the view, O(runs)."""
+        total = 0
+        for source, start, stop in self._runs:
+            if isinstance(source, PackedRecordBatch):
+                total += source.size_range(start, stop)
+            else:
+                for index in range(start, stop):
+                    total += source[index].size_bytes()
+        return total
+
+    def with_overlay(
+        self, fn: Callable[[int], Mapping[str, str]]
+    ) -> list:
+        """Per-run packed chunks with ``fn``'s headers overlaid — the
+        MirrorMaker forwarding form.  Packed runs are sliced (sharing
+        payload/records); only plain tail runs need packing first."""
+        chunks = []
+        for source, start, stop in self._runs:
+            if isinstance(source, PackedRecordBatch):
+                piece = source.slice(start, stop)
+            else:
+                piece = PackedRecordBatch.from_stored(tuple(source[start:stop]))
+            chunks.append(piece.with_header_overlay(fn))
+        return chunks
+
+
 class RecordBatch:
     """A producer-side batch of records destined for one topic partition.
 
@@ -162,6 +794,7 @@ class RecordBatch:
         self.max_bytes = int(max_bytes)
         self._records: list[EventRecord] = []
         self._size = 0
+        self._packed: Optional[PackedRecordBatch] = None
         # Injectable so linger timing can run on a test-controlled clock.
         self.created_at = created_at if created_at is not None else time.time()
 
@@ -186,10 +819,23 @@ class RecordBatch:
             return False
         self._records.append(record)
         self._size += record_size
+        self._packed = None
         return True
 
     def records(self) -> Sequence[EventRecord]:
         return tuple(self._records)
+
+    def sealed_packed(self) -> PackedRecordBatch:
+        """Seal the batch into its packed wire form (cached).
+
+        This is the single encode of the one-encode produce path: the
+        same object travels to the broker, into the leader log, to every
+        replica and out through fetch — retries reuse the cached seal."""
+        packed = self._packed
+        if packed is None:
+            packed = PackedRecordBatch.from_events(tuple(self._records))
+            self._packed = packed
+        return packed
 
     @classmethod
     def of(cls, topic: str, partition: int, records: Iterable[EventRecord]) -> "RecordBatch":

@@ -5,6 +5,11 @@ them is the leader.  After every leader append the replication manager
 pushes the new records to the online followers and recomputes the ISR.
 ``acks=all`` produces succeed only when the ISR (leader included) is at
 least ``min.insync.replicas``.
+
+Replication is zero-copy: the leader fetch returns a packed batch view
+over the log's storage chunks, and the follower adopts those very chunks
+by reference (``PartitionLog.append_stored`` recognises packed runs) — no
+record is decoded or re-encoded on the leader → follower path.
 """
 
 from __future__ import annotations
@@ -108,6 +113,8 @@ class ReplicationManager:
             )
             start = follower_log.log_end_offset
             if start < leader_end:
+                # ``missing`` is a packed view sharing the leader's sealed
+                # chunks; the follower adopts them by reference.
                 missing = leader_log.fetch(
                     start, max_records=leader_end - start, max_bytes=None
                 )

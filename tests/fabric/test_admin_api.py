@@ -1,13 +1,12 @@
 """Tests for the admin/data-plane API split.
 
 Covers the three surfaces of the redesign: :class:`FabricAdmin` as the
-single control plane (with the deprecated ``FabricCluster`` shims
-delegating to it), the batched group-commit path
+single control plane (the deprecated ``FabricCluster`` shims are gone —
+admin operations exist only on :class:`FabricAdmin`), the batched
+group-commit path
 (:meth:`OffsetStore.commit_many` / :meth:`FabricCluster.commit_group`),
 and epoch-scoped ACL caching on fetch sessions.
 """
-
-import warnings
 
 import pytest
 
@@ -105,42 +104,6 @@ class TestAdminOwnsControlPlane:
         FabricConsumer(cluster, ["a"], ConsumerConfig(group_id="g1"))
         assert admin.list_groups() == ["g1"]
         assert admin.describe_group("g1")["generation"] == 1
-
-
-class TestDeprecatedShims:
-    """Every old control method still works, warns, and delegates."""
-
-    def test_create_topic_shim_delegates_and_warns(self, cluster):
-        with pytest.warns(DeprecationWarning, match="FabricAdmin.create_topic"):
-            cluster.create_topic("a", TopicConfig(num_partitions=3))
-        assert cluster.topic("a").num_partitions == 3
-
-    def test_all_shims_warn(self, cluster):
-        admin = cluster.admin()
-        admin.create_topic("a")
-        shim_calls = [
-            ("delete_topic", ("a",)),
-            ("set_authorizer", (None,)),
-            ("add_persistence_sink", (lambda t, p, r: None,)),
-            ("describe", ()),
-            ("update_topic_config", ("missing-is-fine",)),
-            ("set_partitions", ("missing-is-fine", 2)),
-            ("fail_broker", (1,)),
-            ("restore_broker", (1,)),
-            ("run_retention", ()),
-        ]
-        for name, args in shim_calls:
-            with pytest.warns(DeprecationWarning, match="deprecated"):
-                try:
-                    getattr(cluster, name)(*args)
-                except UnknownTopicError:
-                    pass  # delegation happened; the topic simply doesn't exist
-
-    def test_shim_parity_with_admin(self, cluster):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            via_shim = cluster.describe()
-        assert via_shim == cluster.admin().describe_cluster()
 
 
 class TestCommitMany:

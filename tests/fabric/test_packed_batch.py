@@ -1,0 +1,209 @@
+"""Packed-batch aliasing safety and one-encode path behaviour.
+
+The one-encode design shares a single :class:`PackedRecordBatch` object
+between the producer's sealed wire batch, the leader log's storage chunk,
+fetch views, replication and MirrorMaker forwarding.  Sharing is only
+safe if no reader can corrupt what another session is reading:
+
+* a fetch view taken before a compaction/truncation must keep serving
+  the records it covered (snapshot isolation),
+* mutating a record decoded from wire bytes must never leak into the
+  sealed payload or into a fresh decode,
+* concurrent fetches racing a compaction/truncation loop must stay
+  consistent (no torn views, no exceptions).
+"""
+
+import threading
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.partition import PartitionLog
+from repro.fabric.producer import FabricProducer, ProducerConfig
+from repro.fabric.record import EventRecord, PackedRecordBatch, PackedView
+from repro.fabric.retention import compact
+from repro.fabric.topic import TopicConfig
+
+
+def _fill(log, count, *, key=None):
+    log.append_batch(
+        [EventRecord(value=i, key=key(i) if key else None) for i in range(count)],
+        append_time=1.0,
+    )
+
+
+class TestFetchViewSnapshotIsolation:
+    def test_held_view_survives_truncation(self):
+        log = PartitionLog("t", 0, segment_records=8)
+        _fill(log, 40)
+        view = log.fetch(0, max_records=40)
+        before = [(r.offset, r.record.value) for r in view]
+        log.truncate_before(30)
+        assert [(r.offset, r.record.value) for r in view] == before
+        assert log.log_start_offset == 30
+
+    def test_held_view_survives_compaction(self):
+        log = PartitionLog("t", 0, segment_records=8)
+        _fill(log, 30, key=lambda i: f"k{i % 3}")
+        view = log.fetch(0, max_records=30)
+        before = [(r.offset, r.record.value) for r in view]
+        removed = compact(log)
+        assert removed > 0
+        assert [(r.offset, r.record.value) for r in view] == before
+
+    def test_view_is_packed_and_list_compatible(self):
+        log = PartitionLog("t", 0, segment_records=8)
+        _fill(log, 20)
+        view = log.fetch(3, max_records=10)
+        assert isinstance(view, PackedView)
+        as_list = list(view)
+        assert view == as_list
+        assert len(view) == 10
+        assert view[0].offset == 3 and view[-1].offset == 12
+        assert (view + [])[:3] == as_list[:3]
+
+
+class TestWireBytesImmutability:
+    def _batch(self):
+        records = tuple(
+            EventRecord(
+                value={"n": i, "tags": ["a", "b"]},
+                key=f"k{i}",
+                headers={"h": str(i)},
+                timestamp=float(i),
+            )
+            for i in range(5)
+        )
+        return PackedRecordBatch.from_events(records, base_offset=100, append_time=2.0)
+
+    def test_mutating_decoded_record_does_not_corrupt_payload(self):
+        packed = self._batch()
+        wire = packed.to_bytes()
+        received = PackedRecordBatch.from_bytes(wire, base_offset=100)
+        victim = received.record_at(2)
+        victim.headers["evil"] = "yes"
+        victim.value["tags"].append("corrupted")
+        # The sealed wire image is unchanged, and a fresh decode of the
+        # same bytes sees the original record.
+        assert received.to_bytes() == wire
+        fresh = PackedRecordBatch.from_bytes(wire, base_offset=100)
+        assert fresh.record_at(2).headers == {"h": "2"}
+        assert fresh.record_at(2).value == {"n": 2, "tags": ["a", "b"]}
+
+    def test_slice_shares_payload_but_restamps_cleanly(self):
+        packed = self._batch()
+        packed.ensure_payload()
+        part = packed.slice(1, 4)
+        assert len(part) == 3
+        assert part.offset_at(0) == 101
+        assert [part.record_at(i).value["n"] for i in range(3)] == [1, 2, 3]
+        restamped = part.with_offsets(0, 9.0)
+        assert restamped.offset_at(2) == 2
+        # Restamping never touches the originals.
+        assert packed.offset_at(1) == 101 and packed.min_append_time == 2.0
+
+    def test_header_overlay_leaves_base_records_untouched(self):
+        packed = self._batch()
+        overlaid = packed.with_header_overlay(
+            lambda source_offset: {"mirror.source.offset": str(source_offset)}
+        )
+        decorated = overlaid.record_at(3)
+        assert decorated.headers == {"h": "3", "mirror.source.offset": "103"}
+        # The shared base record is untouched by the overlay decode.
+        assert packed.record_at(3).headers == {"h": "3"}
+        # Destination restamping preserves the *source* offsets captured
+        # at overlay time.
+        restamped = overlaid.with_offsets(500, 9.0)
+        assert restamped.record_at(3).headers["mirror.source.offset"] == "103"
+
+
+class TestConcurrentFetchAndCompaction:
+    def test_fetch_race_with_compact_and_truncate(self):
+        log = PartitionLog("t", 0, segment_records=16)
+        _fill(log, 200, key=lambda i: f"k{i % 5}")
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    start = log.log_start_offset
+                    try:
+                        view = log.fetch(start, max_records=64)
+                    except Exception as exc:  # OffsetOutOfRange race is the
+                        # one legal failure: a concurrent truncate moved the
+                        # start between the read and the fetch.
+                        if type(exc).__name__ != "OffsetOutOfRangeError":
+                            raise
+                        continue
+                    materialized = list(view)
+                    offsets = [r.offset for r in materialized]
+                    # A view, once taken, is internally consistent:
+                    # strictly increasing offsets and stable on re-read.
+                    assert offsets == sorted(set(offsets))
+                    assert [r.offset for r in view] == offsets
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_index in range(30):
+                compact(log)
+                log.truncate_before(min(log.log_start_offset + 3, log.log_end_offset))
+                log.append_batch(
+                    [EventRecord(value=(round_index, i), key=f"k{i % 5}")
+                     for i in range(10)],
+                    append_time=float(round_index + 10),
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert not errors
+
+
+class TestProducerClockThreading:
+    def test_producer_timestamps_come_from_injected_clock(self):
+        cluster = FabricCluster(num_brokers=1)
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=1))
+        clock = ManualClock(start=1_000.0)
+        producer = FabricProducer(
+            cluster, ProducerConfig(retries=0), clock=clock
+        )
+        producer.send("t", "one")
+        clock.advance(5.0)
+        producer.send_batch("t", ["two", "three"])
+        clock.advance(2.0)
+        producer.buffer("t", "four")
+        producer.flush()
+        records = cluster.fetch("t", 0, 0, max_records=10)
+        timestamps = [r.record.timestamp for r in records]
+        assert timestamps == [1_000.0, 1_005.0, 1_005.0, 1_007.0]
+
+    def test_explicit_timestamp_still_wins(self):
+        cluster = FabricCluster(num_brokers=1)
+        cluster.admin().create_topic("t", TopicConfig(num_partitions=1))
+        producer = FabricProducer(
+            cluster, ProducerConfig(retries=0), clock=ManualClock(start=50.0)
+        )
+        producer.send("t", "v", timestamp=123.5)
+        [stored] = cluster.fetch("t", 0, 0, max_records=1)
+        assert stored.record.timestamp == 123.5
+
+
+class TestControlPlaneShimsRemoved:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "create_topic", "delete_topic", "update_topic_config",
+            "set_partitions", "fail_broker", "restore_broker",
+            "run_retention", "set_authorizer", "add_persistence_sink",
+            "describe",
+        ],
+    )
+    def test_shim_is_gone(self, name):
+        cluster = FabricCluster(num_brokers=1)
+        assert not hasattr(cluster, name)

@@ -234,3 +234,62 @@ class TestSegmentInvariants:
                 assert info["max_append_time"] >= max(r.append_time for r in records)
         bases = [s["base_offset"] for s in described]
         assert bases == sorted(bases)
+
+
+# --------------------------------------------------------------------- #
+# Packed wire round trip
+# --------------------------------------------------------------------- #
+
+_JSON_VALUES = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**53), max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=20),
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=8,
+)
+
+_EVENTS = st.lists(
+    st.builds(
+        EventRecord,
+        value=_JSON_VALUES | st.binary(max_size=32),
+        key=st.none() | st.text(max_size=16) | st.binary(max_size=16),
+        headers=st.dictionaries(st.text(max_size=10), st.text(max_size=10), max_size=4),
+        timestamp=st.floats(min_value=0.0, max_value=1e12),
+    ),
+    max_size=12,
+)
+
+
+class TestPackedWireRoundTrip:
+    """``EventRecord`` → packed → wire bytes → decode == original."""
+
+    @given(events=_EVENTS)
+    def test_round_trip_preserves_every_field(self, events):
+        from repro.fabric.record import PackedRecordBatch
+
+        packed = PackedRecordBatch.from_events(
+            tuple(events), base_offset=7, append_time=3.0
+        )
+        decoded = PackedRecordBatch.from_bytes(packed.to_bytes(), base_offset=7)
+        assert len(decoded) == len(events)
+        for index, original in enumerate(events):
+            record = decoded.record_at(index)
+            assert record.value == original.value
+            assert record.key == original.key
+            assert dict(record.headers) == dict(original.headers)
+            assert record.timestamp == original.timestamp
+            assert decoded.offset_at(index) == packed.offset_at(index)
+
+    @given(events=_EVENTS)
+    def test_wire_image_is_deterministic_and_slice_consistent(self, events):
+        from repro.fabric.record import PackedRecordBatch
+
+        packed = PackedRecordBatch.from_events(tuple(events), base_offset=0)
+        wire = packed.to_bytes()
+        assert packed.to_bytes() == wire  # cached encode is stable
+        if events:
+            part = packed.slice(0, len(events))
+            assert part.to_bytes() == wire
