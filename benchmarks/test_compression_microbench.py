@@ -1,0 +1,230 @@
+"""Micro-benchmarks of end-to-end compressed batches (PR 7).
+
+Two claims are measured against the codec="none" path on a compressible
+workload (JSON-ish event payloads with long repeated field names, the
+shape the paper's clickstream/metrics topics carry):
+
+* **Stored bytes**: producers seal each batch once with a codec, the
+  broker adopts the compressed chunk by reference, and retention charges
+  the *physical* (stored) size — so the partition's ``size_bytes`` must
+  shrink ≥ 3× under gzip.
+* **Mirror forwarding**: cross-cluster sync forwards sealed chunks
+  without inflating them, so a compressed mirror pass must beat the
+  per-record rebuild baseline ≥ 3× (same bar as the uncompressed packed
+  path — compression must not cost the mirror its zero-copy win), and
+  the bytes the link carries (``physical_bytes_mirrored``) must show the
+  same ≥ 3× reduction.
+
+Results go to ``BENCH_compression.json`` at the repo root; CI uploads it
+next to ``BENCH_storage.json`` and gates both through
+``benchmarks/check_storage_floors.py``.
+"""
+
+import gc
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.mirrormaker import MirrorMaker
+from repro.fabric.producer import FabricProducer, ProducerConfig
+from repro.fabric.record import EventRecord
+from repro.fabric.topic import TopicConfig
+
+NUM_RECORDS = 20_000
+BATCH = 500
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_compression.json"
+RESULTS: dict = {"records": NUM_RECORDS, "batch": BATCH}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Write every benchmark's numbers to BENCH_compression.json on teardown."""
+    yield
+    BENCH_PATH.write_text(json.dumps(RESULTS, indent=2, sort_keys=True) + "\n")
+
+
+def _event_value(i: int) -> dict:
+    """A compressible clickstream-style payload: long repeated keys, a few
+    varying fields.  Deliberately *not* random — the bench measures the
+    codec path, and real event topics are this shape."""
+    return {
+        "event_type": "page_view",
+        "session_identifier": f"session-{i % 97:06d}",
+        "canonical_page_url": f"https://shop.example.com/catalog/item/{i % 450}",
+        "experiment_assignments": ["checkout_v2", "ranking_baseline"],
+        "client_platform": "web",
+        "sequence_number": i,
+    }
+
+
+def _produce(cluster: FabricCluster, topic: str, compression) -> None:
+    config = ProducerConfig(
+        compression=compression, buffer_memory_bytes=8 * 1024 * 1024
+    )
+    producer = FabricProducer(cluster, config)
+    for i in range(NUM_RECORDS):
+        producer.buffer(topic, _event_value(i), key=f"k{i % 64}")
+        if (i + 1) % (BATCH * 4) == 0:
+            producer.flush()
+    producer.flush()
+
+
+def _build_cluster(name: str, compression) -> FabricCluster:
+    cluster = FabricCluster(num_brokers=1, name=name)
+    cluster.admin().create_topic(
+        "bench", TopicConfig(num_partitions=2, replication_factor=1)
+    )
+    _produce(cluster, "bench", compression)
+    return cluster
+
+
+def _stored_bytes(cluster: FabricCluster) -> tuple[int, int]:
+    """(physical, logical) retained bytes across the topic's partitions."""
+    description = cluster.admin().describe_segments("bench")
+    physical = sum(p["size_bytes"] for p in description["partitions"].values())
+    logical = sum(
+        p["logical_size_bytes"] for p in description["partitions"].values()
+    )
+    return physical, logical
+
+
+def test_stored_bytes_reduction_gzip():
+    """Gzip-sealed batches must shrink the partition's retained physical
+    bytes ≥ 3× versus codec="none", with the logical size (what consumers
+    receive) unchanged."""
+    raw = _build_cluster("bench-raw", None)
+    gz = _build_cluster("bench-gzip", "gzip")
+
+    raw_physical, raw_logical = _stored_bytes(raw)
+    gz_physical, gz_logical = _stored_bytes(gz)
+    ratio = raw_physical / gz_physical
+    RESULTS["stored_bytes_reduction_gzip"] = {
+        "raw_physical_bytes": raw_physical,
+        "gzip_physical_bytes": gz_physical,
+        "logical_bytes": gz_logical,
+        "ratio": round(ratio, 3),
+        "floor": 3.0,
+    }
+    print(f"\nStored bytes: raw {raw_physical:,} B, gzip {gz_physical:,} B "
+          f"({ratio:.1f}x smaller), logical {gz_logical:,} B")
+    # Same records either way: the logical view is codec-independent.
+    assert raw_logical == gz_logical
+    # codec="none" stores the payload verbatim — physical == logical.
+    assert raw_physical == raw_logical
+    assert ratio >= 3.0
+
+
+def test_consumer_reads_compressed_topic_intact():
+    """No-regression guard riding the bench fixture shapes: every record
+    produced under gzip comes back intact through a plain fetch, and the
+    two codecs serve byte-identical logical views."""
+    gz = _build_cluster("bench-verify", "gzip")
+    seen = 0
+    for _, partition in gz.partitions_for("bench"):
+        offset = 0
+        end = gz.end_offset("bench", partition)
+        while offset < end:
+            records = gz.fetch("bench", partition, offset, max_records=BATCH)
+            for stored in records:
+                value = stored.record.value
+                assert value["event_type"] == "page_view"
+                assert value["sequence_number"] >= 0
+                seen += 1
+            offset = records[-1].offset + 1
+    assert seen == NUM_RECORDS
+
+
+def test_mirror_forwarding_compressed():
+    """Mirroring a gzip-compressed topic must (a) keep the ≥ 3× per-record
+    rate advantage of packed forwarding and (b) carry ≥ 3× fewer physical
+    bytes across the link than the logical payload it delivers."""
+
+    def build_destination(name):
+        destination = FabricCluster(num_brokers=1, name=name)
+        destination.admin().create_topic(
+            "bench", TopicConfig(num_partitions=2, replication_factor=1)
+        )
+        return destination
+
+    def packed_run():
+        source = _build_cluster("bench-mirror-src", "gzip")
+        mirror = MirrorMaker(source, build_destination("bench-mirror-dst"))
+
+        def run():
+            stats = mirror.sync_topic(
+                "bench", max_records_per_partition=NUM_RECORDS
+            )
+            assert stats.records_mirrored == NUM_RECORDS
+            RESULTS.setdefault("mirror_bytes", {}).update(
+                logical_bytes=stats.bytes_mirrored,
+                physical_bytes=stats.physical_bytes_mirrored,
+            )
+        return run
+
+    def per_record_run():
+        source = _build_cluster("bench-rec-src", "gzip")
+        destination = build_destination("bench-rec-dst")
+
+        def run():
+            mirrored_total = 0
+            for _, partition in source.partitions_for("bench"):
+                records = source.fetch(
+                    "bench", partition, 0,
+                    max_records=NUM_RECORDS, max_bytes=None,
+                )
+                base_offset = records[0].offset
+                rebuilt = [
+                    EventRecord(
+                        value=stored.record.value,
+                        key=stored.record.key,
+                        headers={
+                            **dict(stored.record.headers),
+                            "mirror.source.cluster": source.name,
+                            "mirror.source.offset": str(stored.offset),
+                            "mirror.batch.base_offset": str(base_offset),
+                        },
+                        timestamp=stored.record.timestamp,
+                    )
+                    for stored in records
+                ]
+                destination.append_batch("bench", partition, rebuilt, acks=1)
+                mirrored_total += len(rebuilt)
+            assert mirrored_total == NUM_RECORDS
+        return run
+
+    def best_rate(make_run, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            run = make_run()
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                run()
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+        return NUM_RECORDS / best
+
+    packed = best_rate(packed_run)
+    per_record = best_rate(per_record_run)
+    rate_ratio = packed / per_record
+    byte_info = RESULTS["mirror_bytes"]
+    byte_ratio = byte_info["logical_bytes"] / byte_info["physical_bytes"]
+    RESULTS["mirror_compressed"] = {
+        "packed_rec_s": round(packed),
+        "per_record_rec_s": round(per_record),
+        "ratio": round(rate_ratio, 3),
+        "link_bytes_reduction": round(byte_ratio, 3),
+        "floor": 3.0,
+    }
+    print(f"\nCompressed mirror: packed {packed:,.0f} rec/s, per-record "
+          f"{per_record:,.0f} rec/s ({rate_ratio:.2f}x); link bytes "
+          f"{byte_info['physical_bytes']:,} vs logical "
+          f"{byte_info['logical_bytes']:,} ({byte_ratio:.1f}x smaller)")
+    assert rate_ratio >= 3.0
+    assert byte_ratio >= 3.0

@@ -72,10 +72,10 @@ def _best_of(fn, repeats=3):
 
 
 def test_append_throughput_not_regressed():
-    """Packed batch adoption must put segmented append at or above flat:
+    """Packed batch adoption must put segmented append ahead of flat:
     ``append_batch`` packs each 500-record batch once and adopts it by
     reference (one chunk append + prefix sums instead of 500 ``StoredRecord``
-    constructions), so the floor is parity — ≥ 1.0× the flat log's rate."""
+    constructions).  Ratcheted to ≥ 1.1× after PR 6 measured 1.16×."""
 
     def append_segmented():
         _fill(PartitionLog("bench", 0))
@@ -83,23 +83,33 @@ def test_append_throughput_not_regressed():
     def append_flat():
         _fill(FlatPartitionLog("bench", 0))
 
-    segmented = NUM_RECORDS / _best_of(append_segmented)
-    flat = NUM_RECORDS / _best_of(append_flat)
+    # Interleave the implementations (see the fetch bench below): both
+    # sides sample the same runner state, so the best-of ratio reflects
+    # the code rather than which side drew the throttled window.
+    segmented_best = flat_best = float("inf")
+    for _ in range(4):
+        segmented_best = min(segmented_best, _best_of(append_segmented, repeats=1))
+        flat_best = min(flat_best, _best_of(append_flat, repeats=1))
+    segmented = NUM_RECORDS / segmented_best
+    flat = NUM_RECORDS / flat_best
     RESULTS["append_batched"] = {
         "segmented_ev_s": round(segmented),
         "flat_ev_s": round(flat),
         "ratio": round(segmented / flat, 3),
     }
-    RESULTS["append_batched"]["floor"] = 1.0
+    RESULTS["append_batched"]["floor"] = 1.1
     print(f"\nBatched append: segmented {segmented:,.0f} ev/s, "
           f"flat {flat:,.0f} ev/s ({segmented / flat:.2f}x)")
-    assert segmented >= 1.0 * flat
+    assert segmented >= 1.1 * flat
 
 
 def test_fetch_throughput_not_regressed():
     """Paging through 100k records in 500-record fetches: lazy packed
     views (O(runs) assembly, no per-record materialization) must beat the
-    flat log's list slices — the floor is ≥ 1.0× the flat rate."""
+    flat log's list slices.  Ratcheted to ≥ 1.15× — interleaved
+    measurement (below) puts the honest ratio at 1.17–1.29×; the 1.54×
+    a sequential best-of once recorded was runner noise flattering the
+    segmented side."""
     segmented_log = _fill(PartitionLog("bench", 0))
     flat_log = _fill(FlatPartitionLog("bench", 0))
 
@@ -112,17 +122,25 @@ def test_fetch_throughput_not_regressed():
                 offset = records[-1].offset + 1
         return run
 
-    segmented = NUM_RECORDS / _best_of(page_through(segmented_log))
-    flat = NUM_RECORDS / _best_of(page_through(flat_log))
+    # The timed window is short (~1 ms per pass), so CPU-frequency /
+    # contention noise dominates a sequential best-of: interleave the two
+    # implementations and repeat more so both sides sample the same
+    # machine state and the best pass reflects the code, not the runner.
+    segmented_best = flat_best = float("inf")
+    for _ in range(7):
+        segmented_best = min(segmented_best, _best_of(page_through(segmented_log), repeats=1))
+        flat_best = min(flat_best, _best_of(page_through(flat_log), repeats=1))
+    segmented = NUM_RECORDS / segmented_best
+    flat = NUM_RECORDS / flat_best
     RESULTS["fetch_paged"] = {
         "segmented_rec_s": round(segmented),
         "flat_rec_s": round(flat),
         "ratio": round(segmented / flat, 3),
     }
-    RESULTS["fetch_paged"]["floor"] = 1.0
+    RESULTS["fetch_paged"]["floor"] = 1.15
     print(f"\nPaged fetch: segmented {segmented:,.0f} rec/s, "
           f"flat {flat:,.0f} rec/s ({segmented / flat:.2f}x)")
-    assert segmented >= 1.0 * flat
+    assert segmented >= 1.15 * flat
 
 
 def test_time_retention_run_5x_faster():
@@ -262,10 +280,10 @@ def test_size_retention_and_accounting_5x_faster():
 
 def test_mirror_packed_forwarding_not_regressed():
     """Cross-cluster mirroring forwards packed chunks by reference (a
-    header overlay carries provenance; nothing is re-encoded).  The floor
-    is parity — ≥ 1.0× a per-record baseline that rebuilds each
-    ``EventRecord`` with merged provenance headers, the pre-packed
-    MirrorMaker data path."""
+    header overlay carries provenance; nothing is re-encoded).  The
+    baseline rebuilds each ``EventRecord`` with merged provenance headers
+    — the pre-packed MirrorMaker data path.  Ratcheted to ≥ 3.0× after
+    PR 6 measured 5.4×."""
     from repro.fabric.cluster import FabricCluster
     from repro.fabric.mirrormaker import MirrorMaker
     from repro.fabric.topic import TopicConfig
@@ -359,9 +377,9 @@ def test_mirror_packed_forwarding_not_regressed():
         "packed_rec_s": round(packed),
         "per_record_rec_s": round(per_record),
         "ratio": round(packed / per_record, 3),
-        "floor": 1.0,
+        "floor": 3.0,
     }
     print(f"\nMirror sync: packed forwarding {packed:,.0f} rec/s, "
           f"per-record re-encode {per_record:,.0f} rec/s "
           f"({packed / per_record:.2f}x)")
-    assert packed >= 1.0 * per_record
+    assert packed >= 3.0 * per_record

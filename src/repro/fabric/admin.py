@@ -250,11 +250,15 @@ class FabricAdmin:
         """Per-partition storage-segment layout of a topic's canonical logs.
 
         Returns, per partition, the log start/end offsets, retained byte
-        count and every segment's ``{base_offset, end_offset, records,
-        size_bytes, min_append_time, max_append_time, sealed, contiguous}``
-        — the operator's view of what a retention run would drop whole and
-        where the active segment sits.  Pass ``partition`` to restrict the
-        answer to one partition.
+        counts — ``size_bytes`` is *physical* (compressed chunks at their
+        stored size, what retention charges), ``logical_size_bytes`` the
+        uncompressed record bytes consumers receive — and every segment's
+        ``{base_offset, end_offset, records, size_bytes,
+        logical_size_bytes, min_append_time, max_append_time, sealed,
+        contiguous}`` — the operator's view of what a retention run would
+        drop whole, where the active segment sits, and how much batch
+        compression is actually saving on disk.  Pass ``partition`` to
+        restrict the answer to one partition.
         """
         self._authorize("DESCRIBE", f"topic:{name}")
         topic = self._cluster.topic(name)
@@ -266,6 +270,7 @@ class FabricAdmin:
                 "log_start_offset": log.log_start_offset,
                 "log_end_offset": log.log_end_offset,
                 "size_bytes": log.size_bytes,
+                "logical_size_bytes": log.logical_size_bytes,
                 "num_segments": log.num_segments,
                 "segments": log.describe_segments(),
             }

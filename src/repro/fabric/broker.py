@@ -15,7 +15,12 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from repro.fabric.errors import BrokerUnavailableError, UnknownPartitionError
 from repro.fabric.partition import PartitionLog
-from repro.fabric.record import EventRecord, PackedRecordBatch, StoredRecord
+from repro.fabric.record import (
+    EventRecord,
+    PackedRecordBatch,
+    PackedView,
+    StoredRecord,
+)
 
 
 @dataclass(frozen=True)
@@ -100,6 +105,40 @@ class Broker:
         with self._lock:
             self._replicas.pop((topic, partition), None)
 
+    def reset_replica(
+        self,
+        topic: str,
+        partition: int,
+        *,
+        max_message_bytes: int = 8 * 1024 * 1024,
+        segment_records: Optional[int] = None,
+        segment_bytes: Optional[int] = None,
+        log_start_offset: int = 0,
+    ) -> PartitionLog:
+        """Discard the local replica and open an empty one in its place.
+
+        The corruption-recovery primitive (see
+        :meth:`ReplicationManager.recover_replica`): a log whose chunks
+        fail CRC verification cannot be repaired in place, so it is
+        replaced wholesale and re-populated from the leader.  The fresh
+        log starts at ``log_start_offset`` (the leader's log start) so
+        adopted leader chunks keep their offsets.
+        """
+        self._check_online()
+        with self._lock:
+            fresh = PartitionLog(
+                topic,
+                partition,
+                max_message_bytes=max_message_bytes,
+                segment_records=segment_records,
+                segment_bytes=segment_bytes,
+            )
+            if log_start_offset:
+                fresh._log_start_offset = log_start_offset
+                fresh._next_offset = log_start_offset
+            self._replicas[(topic, partition)] = fresh
+            return fresh
+
     def replica(self, topic: str, partition: int) -> PartitionLog:
         self._check_online()
         with self._lock:
@@ -168,9 +207,15 @@ class Broker:
         max_bytes: Optional[int] = None,
     ) -> list[StoredRecord]:
         self._check_online()
-        return self.replica(topic, partition).fetch(
+        records = self.replica(topic, partition).fetch(
             offset, max_records=max_records, max_bytes=max_bytes
         )
+        if isinstance(records, PackedView):
+            # Memoized per chunk (free for already-verified batches), but
+            # surfaces a CorruptBatchError at fetch for any sealed chunk
+            # that slipped in without an ingress check.
+            records.verify_crcs()
+        return records
 
     def fetch_many(
         self,

@@ -521,9 +521,10 @@ class FabricCluster:
             # atomic: the single-chunk path validates inside append_packed.
             limit = canonical.max_message_bytes
             for chunk in chunks:
-                if chunk.max_record_size > limit:
+                oversize = chunk.check_max_record_size(limit)
+                if oversize is not None:
                     raise RecordTooLargeError(
-                        f"record of {chunk.max_record_size} B exceeds "
+                        f"record of {oversize} B exceeds "
                         f"max.message.bytes={limit} for {topic_name}-{partition}"
                     )
         with self._lock:

@@ -73,6 +73,12 @@ class ConsumerConfig:
     prefetch: bool = False
     heartbeat_interval_seconds: float = 3.0
     session_timeout_seconds: Optional[float] = None
+    #: Verify the CRC32 of every sealed batch a poll returns (Kafka's
+    #: ``check.crcs``) before records are handed to the application.
+    #: Cheap — one crc32 pass per *batch*, memoized per chunk object — and
+    #: the last line of defence in front of the application; disable only
+    #: for benchmarking.
+    check_crcs: bool = True
 
     def validate(self) -> None:
         if self.auto_offset_reset not in ("earliest", "latest", "timestamp"):
@@ -320,11 +326,14 @@ class FabricConsumer:
                     else:
                         out[tp] = records
                     self._positions[tp] = records[-1].offset + 1
+        check_crcs = self.config.check_crcs
         for records in out.values():
             self.metrics.records_consumed += len(records)
             # Packed fetch views know their byte total from the batch size
             # column — don't force a per-record decode just for metrics.
             if isinstance(records, PackedView):
+                if check_crcs:
+                    records.verify_crcs()
                 self.metrics.bytes_consumed += records.size_bytes()
             else:
                 self.metrics.bytes_consumed += sum(r.size_bytes() for r in records)

@@ -62,6 +62,23 @@ class RecordTooLargeError(FabricError):
     """A record exceeds the topic's ``max.message.bytes`` limit."""
 
 
+class CorruptBatchError(FabricError):
+    """A packed batch failed CRC32 verification (or its header is invalid).
+
+    Raised on broker ingress (``append_packed``/``append_stored`` of a
+    CRC-stamped chunk) and on the first decode of a stored chunk, so a
+    corrupted batch can never reach a consumer as silently-wrong records.
+    Retriable: a reader can re-fetch (the replica recovery path rebuilds a
+    follower from its leader's intact copy).
+    """
+
+    retriable = True
+
+
+class UnknownCodecError(FabricError):
+    """A batch names a compression codec this process has not registered."""
+
+
 class InvalidConfigError(FabricError):
     """A topic, producer or consumer configuration value is invalid."""
 

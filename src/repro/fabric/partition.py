@@ -104,6 +104,7 @@ class LogSegment:
         "base_offset",
         "end_offset",
         "size_bytes",
+        "logical_size_bytes",
         "min_append_time",
         "max_append_time",
         "sealed",
@@ -117,7 +118,13 @@ class LogSegment:
         #: Offset the next record after this segment would take
         #: (last record's offset + 1 once non-empty).
         self.end_offset = base_offset
+        #: Physical bytes: compressed chunks count at their stored (wire)
+        #: size.  Roll thresholds and size retention charge this — what
+        #: the segment actually occupies.
         self.size_bytes = 0
+        #: Logical bytes: the per-record serialized sizes, what consumers
+        #: receive.  Equal to ``size_bytes`` for uncompressed storage.
+        self.logical_size_bytes = 0
         self.min_append_time: float = 0.0
         self.max_append_time: float = 0.0
         self.sealed = False
@@ -134,7 +141,8 @@ class LogSegment:
         segment = cls(chunk.base_offset)
         segment._state = ((chunk,), [], (0, len(chunk)))
         segment.end_offset = chunk.end_offset
-        segment.size_bytes = chunk.size_bytes
+        segment.size_bytes = chunk.physical_size_bytes
+        segment.logical_size_bytes = chunk.size_bytes
         segment.min_append_time = chunk.min_append_time
         segment.max_append_time = chunk.max_append_time
         segment.contiguous = chunk.contiguous
@@ -182,7 +190,9 @@ class LogSegment:
         self._state[1].append(stored)
         self.end_offset = stored.offset + 1
         self.count += 1
-        self.size_bytes += stored.size_bytes()
+        size = stored.size_bytes()
+        self.size_bytes += size
+        self.logical_size_bytes += size
 
     def append_chunk(self, chunk: PackedRecordBatch) -> None:
         """Adopt a packed batch by reference as the segment's next chunk.
@@ -216,7 +226,8 @@ class LogSegment:
                 self.contiguous = False
         self.end_offset = chunk.end_offset
         self.count += len(chunk)
-        self.size_bytes += chunk.size_bytes
+        self.size_bytes += chunk.physical_size_bytes
+        self.logical_size_bytes += chunk.size_bytes
 
     # -- lookup (safe without the write lock) -------------------------- #
     def locate(self, offset: int) -> int:
@@ -305,19 +316,22 @@ class LogSegment:
         tail: List[StoredRecord] = []
         kept = 0
         size = 0
+        logical = 0
         first_offset = None
         for source, start, stop in runs:
             kept += stop - start
             if isinstance(source, PackedRecordBatch):
                 piece = source.slice(start, stop)
                 chunks.append(piece)
-                size += piece.size_bytes
+                size += piece.physical_size_bytes
+                logical += piece.size_bytes
                 if first_offset is None:
                     first_offset = piece.base_offset
             else:
                 tail = list(source[start:stop])
-                for stored in tail:
-                    size += stored.size_bytes()
+                tail_size = sum(stored.size_bytes() for stored in tail)
+                size += tail_size
+                logical += tail_size
                 if first_offset is None:
                     first_offset = tail[0].offset
         fresh = LogSegment(first_offset)
@@ -328,6 +342,7 @@ class LogSegment:
         fresh.end_offset = self.end_offset
         fresh.count = kept
         fresh.size_bytes = size
+        fresh.logical_size_bytes = logical
         fresh.min_append_time = self.min_append_time
         fresh.max_append_time = self.max_append_time
         fresh.contiguous = fresh.end_offset - fresh.base_offset == kept
@@ -342,6 +357,7 @@ class LogSegment:
             "end_offset": self.end_offset,
             "records": count,
             "size_bytes": self.size_bytes,
+            "logical_size_bytes": self.logical_size_bytes,
             "min_append_time": self.min_append_time if count else None,
             "max_append_time": self.max_append_time if count else None,
             "sealed": self.sealed,
@@ -431,9 +447,15 @@ class PartitionLog:
 
     @property
     def size_bytes(self) -> int:
-        """Total bytes currently retained: a sum of cached per-segment
-        counters, O(segments) instead of a walk over every record."""
+        """Total *physical* bytes currently retained (compressed chunks at
+        their stored size): a sum of cached per-segment counters,
+        O(segments) instead of a walk over every record."""
         return sum(segment.size_bytes for segment in self._segments)
+
+    @property
+    def logical_size_bytes(self) -> int:
+        """Total logical (uncompressed, per-record) bytes retained."""
+        return sum(segment.logical_size_bytes for segment in self._segments)
 
     @property
     def total_appended(self) -> int:
@@ -547,13 +569,15 @@ class PartitionLog:
         devolve to the per-record tail path.
         """
         length = len(packed)
-        if packed.max_record_size > self.max_message_bytes:
-            for size in packed.sizes:
-                if size > self.max_message_bytes:
-                    raise RecordTooLargeError(
-                        f"record of {size} B exceeds max.message.bytes="
-                        f"{self.max_message_bytes} for {self.topic}-{self.partition}"
-                    )
+        # Ingress integrity: a CRC-stamped batch is verified before any of
+        # it is admitted (memoized — cheap for batches this process sealed).
+        packed.verify_crc()
+        oversize = packed.check_max_record_size(self.max_message_bytes)
+        if oversize is not None:
+            raise RecordTooLargeError(
+                f"record of {oversize} B exceeds max.message.bytes="
+                f"{self.max_message_bytes} for {self.topic}-{self.partition}"
+            )
         with self._lock:
             if length == 0:
                 return packed.with_offsets(self._next_offset, self._last_append_time)
@@ -584,8 +608,16 @@ class PartitionLog:
         else:
             by_count = self.segment_records
         cum = chunk._cum
-        target = cum[index] + (self.segment_bytes - active.size_bytes)
-        by_bytes = bisect.bisect_left(cum, target, index, index + remaining) - index
+        if cum is None:
+            # Wire-decoded chunk whose size column is still lazy: splitting
+            # it exactly would force a decompression on the ingress path,
+            # so the roll boundary is estimated from the average record
+            # size instead (the header's uncompressed size / count).
+            average = max(1, chunk.size_bytes // max(1, len(chunk)))
+            by_bytes = max(1, (self.segment_bytes - active.size_bytes) // average)
+        else:
+            target = cum[index] + (self.segment_bytes - active.size_bytes)
+            by_bytes = bisect.bisect_left(cum, target, index, index + remaining) - index
         take = min(remaining, by_count, by_bytes)
         return take if take > 0 else 1
 
@@ -629,6 +661,11 @@ class PartitionLog:
         else:
             materialized = list(records)
             runs = ((materialized, 0, len(materialized)),)
+        # Ingress integrity (outside the lock): CRC-stamped chunks are
+        # verified before any offsets are adopted.
+        for source, _, _ in runs:
+            if isinstance(source, PackedRecordBatch):
+                source.verify_crc()
         with self._lock:
             for source, start, stop in runs:
                 if isinstance(source, PackedRecordBatch):
@@ -901,12 +938,16 @@ class PartitionLog:
             return removed
 
     def size_retention_cutoff(self, retention_bytes: int) -> int:
-        """Earliest offset to keep so retained bytes fit ``retention_bytes``.
+        """Earliest offset to keep so retained *physical* bytes fit
+        ``retention_bytes``.
 
         Sums cached per-segment sizes (O(segments)); only the boundary
         segment — where dropping the whole thing would over-shoot — is
         walked record-granularly, preserving the record-granular semantics
-        of the flat implementation.
+        of the flat implementation for uncompressed storage.  A compressed
+        chunk that must be dropped wholesale is skipped in one step (its
+        physical size is exact at chunk extent); inside one, records are
+        charged their proportional share of the compressed body.
         """
         segments = self._segments
         total = sum(segment.size_bytes for segment in segments)
@@ -920,10 +961,20 @@ class PartitionLog:
                 continue  # dropping all of it still leaves us over: drop whole
             for source, start, stop in segment.runs_from(0):
                 if isinstance(source, PackedRecordBatch):
+                    chunk_bytes = source.physical_size_range(start, stop)
+                    if total - chunk_bytes > retention_bytes:
+                        # Whole-chunk drop: identical cutoff to the
+                        # per-record walk (the budget check cannot fire
+                        # mid-chunk when even dropping all of it leaves
+                        # the log over budget), without materialising a
+                        # lazy chunk's size column record by record.
+                        total -= chunk_bytes
+                        cutoff = source.offset_at(stop - 1) + 1
+                        continue
                     for index in range(start, stop):
                         if total <= retention_bytes:
                             return cutoff
-                        total -= source.size_at(index)
+                        total -= source.physical_size_range(index, index + 1)
                         cutoff = source.offset_at(index) + 1
                 else:
                     for index in range(start, stop):

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.fabric.broker import Broker
-from repro.fabric.errors import NotEnoughReplicasError
+from repro.fabric.errors import CorruptBatchError, NotEnoughReplicasError
+from repro.fabric.record import PackedRecordBatch, PackedView
 
 
 @dataclass
@@ -118,12 +119,71 @@ class ReplicationManager:
                 missing = leader_log.fetch(
                     start, max_records=leader_end - start, max_bytes=None
                 )
-                follower.replicate(topic, partition, missing)
+                try:
+                    follower.replicate(topic, partition, missing)
+                except CorruptBatchError:
+                    # The follower's ingress CRC rejected a leader chunk.
+                    # Leave this follower out of the round's ISR (it did
+                    # not advance) rather than adopting damaged bytes; an
+                    # operator heals the partition via recover_replica
+                    # (after leader re-election if the leader is at fault).
+                    continue
             if follower_log.log_end_offset >= leader_end:
                 new_isr.append(broker_id)
         with self._lock:
             assignment.isr = new_isr
         return new_isr
+
+    def recover_replica(self, topic: str, partition: int, broker_id: int) -> int:
+        """Rebuild one follower replica from the leader's intact copy.
+
+        The corruption recovery path: when a replica's stored chunks fail
+        CRC verification (at fetch-decode or while serving), the damaged
+        log is discarded wholesale and re-fetched from the current leader —
+        the CRC travels with the bytes, so the rebuilt replica re-verifies
+        everything it adopts.  Returns the recovered replica's log end
+        offset.  Raises :class:`CorruptBatchError` if the leader's own copy
+        is damaged too (then leadership must move first, see
+        :meth:`elect_leader`).
+        """
+        with self._lock:
+            assignment = self._assignments[(topic, partition)]
+        if broker_id == assignment.leader:
+            raise ValueError(
+                f"cannot recover {topic}-{partition} on broker {broker_id}: "
+                "it is the leader (elect a new leader first)"
+            )
+        leader_log = self._brokers[assignment.leader].replica(topic, partition)
+        follower = self._brokers[broker_id]
+        leader_end = leader_log.log_end_offset
+        start = leader_log.log_start_offset
+        missing = (
+            leader_log.fetch(start, max_records=leader_end - start, max_bytes=None)
+            if start < leader_end
+            else []
+        )
+        # Force-verify the leader's chunks *before* discarding the
+        # follower's log: a memoized ingress pass must not mask leader-side
+        # damage that happened after its own ingress.
+        if isinstance(missing, PackedView):
+            for source, _, _ in missing.runs():
+                if isinstance(source, PackedRecordBatch):
+                    source.verify_crc(force=True)
+        fresh = follower.reset_replica(
+            topic,
+            partition,
+            max_message_bytes=leader_log.max_message_bytes,
+            segment_records=leader_log.segment_records,
+            segment_bytes=leader_log.segment_bytes,
+            log_start_offset=start,
+        )
+        if missing:
+            fresh.append_stored(missing)
+        with self._lock:
+            if follower.online and fresh.log_end_offset >= leader_end:
+                if broker_id not in assignment.isr:
+                    assignment.isr.append(broker_id)
+        return fresh.log_end_offset
 
     def check_min_isr(self, topic: str, partition: int, min_insync: int) -> None:
         """Raise :class:`NotEnoughReplicasError` if the ISR is too small."""

@@ -11,11 +11,24 @@ from __future__ import annotations
 import json
 from typing import Any
 
-__all__ = ["serialize", "deserialize", "serialized_size", "SerdeError"]
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serialized_size",
+    "serialize_with_size",
+    "SerdeError",
+]
 
 
 class SerdeError(ValueError):
     """Raised when a value cannot be serialized for the fabric."""
+
+
+def _json_encode(value: Any) -> bytes:
+    """The one JSON encode seam: every fabric JSON encode funnels through
+    here (looked up at call time), so tests can count encode passes and
+    alternative encoders can be swapped in process-wide."""
+    return json.dumps(value, sort_keys=True, default=str).encode("utf-8")
 
 
 def serialize(value: Any) -> bytes:
@@ -34,9 +47,40 @@ def serialize(value: Any) -> bytes:
     if isinstance(value, str):
         return value.encode("utf-8")
     try:
-        return json.dumps(value, sort_keys=True, default=str).encode("utf-8")
+        return _json_encode(value)
     except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
         raise SerdeError(f"value of type {type(value)!r} is not serializable") from exc
+
+
+def serialize_with_size(value: Any) -> tuple:
+    """One encode pass returning ``(encoded_or_None, size)``.
+
+    The producer hot path needs a record's size (batch accounting, broker
+    quota) *and* — when the batch is sealed to wire form — its encoded
+    bytes.  Computing the size via :func:`serialized_size` and then
+    encoding again in the wire packer serialized JSON values twice; this
+    helper encodes once and hands both answers back so the caller
+    (:meth:`EventRecord.size_bytes`) can cache the bytes for the packer.
+
+    For the cheap scalar cases where the size is derivable without an
+    encode (``bytes``/``str``/``int``/``None``) the first element is
+    ``None`` and no encode happens — those types re-encode in O(len)
+    anyway, so caching would only burn memory.
+    """
+    if value is None:
+        return None, 0
+    if isinstance(value, (bytes, bytearray)):
+        return None, len(value)
+    if isinstance(value, str):
+        return None, len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return None, 5
+    if isinstance(value, int):
+        return None, len(str(value))
+    if isinstance(value, float):
+        return None, 18
+    encoded = serialize(value)
+    return encoded, len(encoded)
 
 
 def deserialize(payload: bytes) -> Any:
@@ -59,18 +103,9 @@ def serialized_size(value: Any) -> int:
     """Size in bytes of ``value`` once serialized.
 
     Cheap paths for the common cases (bytes/str/int/float) avoid a full
-    JSON round trip in the hot produce path.
+    JSON round trip in the hot produce path.  Callers that may later need
+    the encoded bytes as well (the wire packer) should prefer
+    :func:`serialize_with_size`, which shares one encode pass between the
+    size computation and the encode instead of serializing twice.
     """
-    if value is None:
-        return 0
-    if isinstance(value, (bytes, bytearray)):
-        return len(value)
-    if isinstance(value, str):
-        return len(value.encode("utf-8"))
-    if isinstance(value, bool):
-        return 5
-    if isinstance(value, int):
-        return len(str(value))
-    if isinstance(value, float):
-        return 18
-    return len(serialize(value))
+    return serialize_with_size(value)[1]

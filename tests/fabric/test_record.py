@@ -104,3 +104,54 @@ class TestSerde:
         assert serialized_size(b"abcd") == 4
         assert serialized_size("abcd") == 4
         assert serialized_size(12345) == 5
+
+
+class TestSingleEncodePass:
+    """The serde seam guarantees one JSON encode per record end to end:
+    ``size_bytes`` caches the encoded body and the wire packer reuses it,
+    so size accounting + sealing never serializes a value twice."""
+
+    @pytest.fixture
+    def encode_counter(self, monkeypatch):
+        import repro.fabric.serde as serde
+
+        counts = {"encodes": 0}
+        real = serde._json_encode
+
+        def counting(value):
+            counts["encodes"] += 1
+            return real(value)
+
+        monkeypatch.setattr(serde, "_json_encode", counting)
+        return counts
+
+    def test_serialized_size_is_one_encode(self, encode_counter):
+        serialized_size({"a": 1, "nested": {"b": [1, 2, 3]}})
+        assert encode_counter["encodes"] == 1
+
+    def test_size_then_seal_is_one_encode_per_record(self, encode_counter):
+        from repro.fabric.record import PackedRecordBatch
+
+        records = tuple(
+            EventRecord(value={"n": i, "payload": "z" * 30}, key=f"k{i}")
+            for i in range(6)
+        )
+        for record in records:
+            record.size_bytes()  # producer accounting pays the encode...
+        assert encode_counter["encodes"] == len(records)
+        packed = PackedRecordBatch.from_events(records, append_time=1.0)
+        packed.seal_wire("gzip").to_bytes()  # ...and sealing reuses it
+        assert encode_counter["encodes"] == len(records)
+
+    def test_text_and_bytes_values_never_json_encode(self, encode_counter):
+        from repro.fabric.record import PackedRecordBatch
+
+        records = tuple(
+            EventRecord(value=v) for v in ("text", b"raw", None)
+        )
+        for record in records:
+            record.size_bytes()
+        PackedRecordBatch.from_events(records, append_time=1.0).seal_wire(
+            "none"
+        ).to_bytes()
+        assert encode_counter["encodes"] == 0
