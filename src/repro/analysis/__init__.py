@@ -1,0 +1,13 @@
+"""fabric-san: repo-specific static analysis for the event fabric.
+
+The fabric's correctness rests on conventions no general-purpose linter
+knows about: all time flows through the injectable
+:class:`repro.common.clock.Clock`, attributes annotated
+``guarded_by <lock>`` are only touched under that lock, nothing blocks
+while a lock is held, and locks are taken with ``with`` so they cannot
+leak on an exception path.  :mod:`repro.analysis.lint` checks those
+conventions mechanically (``python -m repro.analysis.lint src/``) and is
+gated in CI next to ruff; the runtime complement — instrumented locks
+that detect real ordering inversions — lives in
+:mod:`repro.common.sync`.
+"""

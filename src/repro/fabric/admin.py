@@ -95,7 +95,7 @@ class FabricAdmin:
                 raise TopicAlreadyExistsError(f"topic {name!r} already exists")
             if config.replication_factor > len(c._brokers):
                 config = config.with_updates(replication_factor=len(c._brokers))
-            topic = Topic(name=name, config=config)
+            topic = Topic(name=name, config=config, clock=c.clock)
             c._topics[name] = topic
             for partition in range(config.num_partitions):
                 self._place_partition(topic, partition)

@@ -9,10 +9,11 @@ leadership; the broker itself only stores data and serves requests.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.common.clock import Clock
+from repro.common.sync import create_rlock
 from repro.fabric.errors import BrokerUnavailableError, UnknownPartitionError
 from repro.fabric.partition import PartitionLog
 from repro.fabric.record import (
@@ -43,11 +44,12 @@ class BrokerSpec:
 class Broker:
     """A single broker process hosting partition replicas."""
 
-    def __init__(self, spec: BrokerSpec) -> None:
+    def __init__(self, spec: BrokerSpec, *, clock: Optional[Clock] = None) -> None:
         self.spec = spec
         self.broker_id = spec.broker_id
-        self._replicas: Dict[Tuple[str, int], PartitionLog] = {}
-        self._lock = threading.RLock()
+        self._clock = clock
+        self._replicas: Dict[Tuple[str, int], PartitionLog] = {}  #: guarded_by _lock
+        self._lock = create_rlock(f"Broker[{spec.broker_id}]")
         self._online = True
 
     # ------------------------------------------------------------------ #
@@ -98,6 +100,7 @@ class Broker:
                     max_message_bytes=max_message_bytes,
                     segment_records=segment_records,
                     segment_bytes=segment_bytes,
+                    clock=self._clock,
                 )
             return self._replicas[key]
 
@@ -132,6 +135,7 @@ class Broker:
                 max_message_bytes=max_message_bytes,
                 segment_records=segment_records,
                 segment_bytes=segment_bytes,
+                clock=self._clock,
             )
             if log_start_offset:
                 fresh._log_start_offset = log_start_offset

@@ -43,7 +43,8 @@ from typing import (
     Union,
 )
 
-from repro.common.clock import Clock
+from repro.common.clock import Clock, SystemClock
+from repro.common.sync import create_lock, create_rlock
 from repro.fabric.broker import Broker, BrokerSpec
 from repro.fabric.errors import (
     AuthorizationError,
@@ -243,6 +244,10 @@ class FabricCluster:
         if num_brokers < 1:
             raise ValueError("a cluster needs at least one broker")
         self.name = name
+        # One injectable clock feeds every time-aware component — offset
+        # commit stamps, group liveness, log append times and retention —
+        # so a ManualClock drives the whole cluster deterministically.
+        self._clock: Clock = clock if clock is not None else SystemClock()
         zones = ("us-east-1a", "us-east-1b", "us-east-1c", "us-east-1d")
         self._brokers: Dict[int, Broker] = {
             broker_id: Broker(
@@ -252,19 +257,17 @@ class FabricCluster:
                     vcpus=vcpus_per_broker,
                     memory_gb=memory_gb_per_broker,
                     availability_zone=zones[broker_id % len(zones)],
-                )
+                ),
+                clock=self._clock,
             )
             for broker_id in range(num_brokers)
         }
         self._topics: Dict[str, Topic] = {}
-        self._lock = threading.RLock()
+        self._lock = create_rlock("FabricCluster")
         self._replication = ReplicationManager(self._brokers)
-        self._offsets = OffsetStore()
-        # The coordinator shares the cluster's injectable clock so group
-        # liveness (heartbeats, session expiry) is testable without real
-        # waiting, exactly like consumer auto-commit and producer linger.
-        self._groups = ConsumerGroupCoordinator(clock=clock)
-        self._retention = RetentionEnforcer()
+        self._offsets = OffsetStore(clock=self._clock)
+        self._groups = ConsumerGroupCoordinator(clock=self._clock)
+        self._retention = RetentionEnforcer(now_fn=self._clock.now)
         self._authorizer: Authorizer = authorizer or _allow_all
         self._append_locks: Dict[Tuple[str, int], threading.Lock] = {}
         self._placement_cursor = 0
@@ -280,6 +283,11 @@ class FabricCluster:
     @property
     def brokers(self) -> Dict[int, Broker]:
         return dict(self._brokers)
+
+    @property
+    def clock(self) -> Clock:
+        """The injectable clock every cluster component shares."""
+        return self._clock
 
     @property
     def offsets(self) -> OffsetStore:
@@ -529,7 +537,8 @@ class FabricCluster:
                     )
         with self._lock:
             append_lock = self._append_locks.setdefault(
-                (topic_name, partition), threading.Lock()
+                (topic_name, partition),
+                create_lock(f"append[{topic_name}-{partition}]"),
             )
         # The per-partition lock makes leader append + canonical mirror one
         # atomic step: without it a concurrent producer could mirror a later

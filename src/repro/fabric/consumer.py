@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from repro.common.clock import Clock
+from repro.common.sync import create_rlock
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
 from repro.fabric.errors import CommitFailedError, FabricError, IllegalGenerationError
 from repro.fabric.group import TopicPartition
@@ -155,9 +156,9 @@ class FabricConsumer:
         # evict consumers that poll diligently but heartbeat on wall time.
         self._clock: Clock = clock or cluster.groups.clock
         self._topics = list(topics)
-        self._lock = threading.RLock()
-        self._positions: Dict[TopicPartition, int] = {}
-        self._poll_cursor = 0
+        self._lock = create_rlock("FabricConsumer")
+        self._positions: Dict[TopicPartition, int] = {}  #: guarded_by _lock
+        self._poll_cursor = 0  #: guarded_by _lock
         self._closed = False
         self._last_auto_commit = self._clock.now()
         self._last_heartbeat = self._clock.now()
@@ -170,13 +171,13 @@ class FabricConsumer:
         self.metrics = ConsumerMetrics()
         self._session: FetchSession = cluster.fetch_session(principal=principal)
         # Prefetch machinery (only materialised when config.prefetch).
-        self._prefetched: Dict[TopicPartition, List[StoredRecord]] = {}
+        self._prefetched: Dict[TopicPartition, List[StoredRecord]] = {}  #: guarded_by _lock
         self._prefetch_wakeup = threading.Event()
         self._prefetch_stop = threading.Event()
         self._prefetch_thread: Optional[threading.Thread] = None
         self._prefetch_session: Optional[FetchSession] = None
         self._metadata_epoch = cluster.metadata_epoch
-        self._assignment: List[TopicPartition] = []
+        self._assignment: List[TopicPartition] = []  #: guarded_by _lock
         self._member_id: str = ""
         self._generation = -1
         self._join_group()
@@ -299,9 +300,14 @@ class FabricConsumer:
         # buffer is protected from duplicate delivery by the
         # offset-matches-position check on the next drain.
         if remaining > 0 and budget > 0 and assignment:
+            # Snapshot under the lock: the prefetch and rebalance threads
+            # mutate ``_positions`` concurrently, and the session iterates
+            # the mapping for the whole (lock-free) fetch.
+            with self._lock:
+                positions = dict(self._positions)
             try:
                 batches = self._session.fetch_assignment(
-                    self._positions,
+                    positions,
                     start=pivot,
                     max_records=remaining,
                     max_bytes=budget,

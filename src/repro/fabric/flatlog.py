@@ -94,7 +94,10 @@ class FlatPartitionLog:
             stored = StoredRecord(
                 offset=offset,
                 record=record,
-                append_time=append_time if append_time is not None else time.time(),
+                # Deprecated differential-test baseline: mirrors the
+                # pre-clock behaviour on purpose.
+                append_time=(append_time if append_time is not None
+                             else time.time()),  # lint: ignore[RAW-CLOCK]
             )
             self._records.append(stored)
             self._next_offset += 1
@@ -116,7 +119,8 @@ class FlatPartitionLog:
                     f"{self.max_message_bytes} for {self.topic}-{self.partition}"
                 )
         with self._lock:
-            when = append_time if append_time is not None else time.time()
+            # Deprecated baseline keeps wall-clock stamps.
+            when = append_time if append_time is not None else time.time()  # lint: ignore[RAW-CLOCK]
             base = self._next_offset
             offsets = list(range(base, base + len(records)))
             self._records.extend(
@@ -239,7 +243,7 @@ def flat_enforce_time_retention(
     log: FlatPartitionLog, retention_seconds: float, now: Optional[float] = None
 ) -> int:
     """The old O(retained records) time-retention walk over ``read_all()``."""
-    now = now if now is not None else time.time()
+    now = now if now is not None else time.time()  # baseline path; lint: ignore[RAW-CLOCK]
     cutoff = now - retention_seconds
     keep_from: Optional[int] = None
     for stored in log.read_all():
@@ -279,5 +283,7 @@ def flat_compact(log: FlatPartitionLog) -> int:
     ]
     removed = len(records) - len(kept)
     if removed:
-        log.replace_records(kept)
+        # The race this API carries is exactly what the flat-log
+        # retention baseline must preserve.
+        log.replace_records(kept)  # lint: ignore[DEPRECATED-API]
     return removed

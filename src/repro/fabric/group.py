@@ -31,11 +31,11 @@ at-least-once (rather than at-most-once) semantics across rebalances.
 from __future__ import annotations
 
 import itertools
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.sync import create_rlock
 from repro.fabric.errors import IllegalGenerationError
 
 TopicPartition = Tuple[str, int]
@@ -182,8 +182,8 @@ class ConsumerGroupCoordinator:
     def __init__(
         self, *, session_timeout: float = 30.0, clock: Optional[Clock] = None
     ) -> None:
-        self._groups: Dict[str, GroupState] = {}
-        self._lock = threading.RLock()
+        self._groups: Dict[str, GroupState] = {}  #: guarded_by _lock
+        self._lock = create_rlock("ConsumerGroupCoordinator")
         self._member_counter = itertools.count()
         self.session_timeout = session_timeout
         self.clock: Clock = clock or SystemClock()

@@ -16,9 +16,10 @@ storage half of :meth:`repro.fabric.cluster.FabricCluster.commit_group`.
 
 from __future__ import annotations
 
-import threading
-import time
 from typing import Dict, Iterable, Mapping, NamedTuple, Optional, Tuple, Union
+
+from repro.common.clock import Clock, SystemClock
+from repro.common.sync import create_rlock
 
 TopicPartition = Tuple[str, int]
 
@@ -42,12 +43,13 @@ GroupOffsets = Union[
 class OffsetStore:
     """Thread-safe store of committed offsets, indexed by consumer group."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self._clock: Clock = clock if clock is not None else SystemClock()
         #: group_id -> {(topic, partition) -> CommittedOffset}.  The
         #: per-group index keeps group-scoped reads/writes O(partitions of
         #: that group) rather than O(all commits in the store).
-        self._groups: Dict[str, Dict[TopicPartition, CommittedOffset]] = {}
-        self._lock = threading.RLock()
+        self._groups: Dict[str, Dict[TopicPartition, CommittedOffset]] = {}  #: guarded_by _lock
+        self._lock = create_rlock("OffsetStore")
 
     def commit(
         self,
@@ -60,7 +62,9 @@ class OffsetStore:
         """Record that ``group_id`` has processed everything below ``offset``."""
         if offset < 0:
             raise ValueError("committed offset must be >= 0")
-        committed = CommittedOffset(offset=offset, metadata=metadata, commit_time=time.time())
+        committed = CommittedOffset(
+            offset=offset, metadata=metadata, commit_time=self._clock.now()
+        )
         with self._lock:
             self._groups.setdefault(group_id, {})[(topic, partition)] = committed
         return committed
@@ -78,7 +82,7 @@ class OffsetStore:
         store untouched.  All entries share one commit timestamp.
         """
         items = offsets.items() if isinstance(offsets, Mapping) else offsets
-        now = time.time()
+        now = self._clock.now()
         # Build (and thereby validate) every entry before touching the
         # store: a bad offset anywhere must leave no partial commit, and
         # entry construction costs nothing under the lock this way.

@@ -40,10 +40,10 @@ from __future__ import annotations
 
 import bisect
 import itertools
-import threading
-import time
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.common.clock import Clock, SystemClock
+from repro.common.sync import create_rlock
 from repro.fabric.errors import OffsetOutOfRangeError, RecordTooLargeError
 from repro.fabric.record import (
     EventRecord,
@@ -401,6 +401,7 @@ class PartitionLog:
         max_message_bytes: int = 8 * 1024 * 1024,
         segment_records: Optional[int] = None,
         segment_bytes: Optional[int] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.topic = topic
         self.partition = partition
@@ -418,10 +419,11 @@ class PartitionLog:
         self._segments: Tuple[LogSegment, ...] = (LogSegment(0),)
         self._log_start_offset = 0
         self._next_offset = 0
-        self._lock = threading.RLock()
-        self._total_appended = 0
-        self._total_bytes = 0
-        self._last_append_time = 0.0
+        self._clock: Clock = clock if clock is not None else SystemClock()
+        self._lock = create_rlock(f"PartitionLog[{topic}-{partition}]")
+        self._total_appended = 0  #: guarded_by _lock
+        self._total_bytes = 0  #: guarded_by _lock
+        self._last_append_time = 0.0  #: guarded_by _lock
 
     # ------------------------------------------------------------------ #
     # Offsets
@@ -484,15 +486,15 @@ class PartitionLog:
         self._segments = self._segments + (fresh,)
         return fresh
 
-    def _assign_time(self, append_time: Optional[float]) -> float:
+    def _assign_time_locked(self, append_time: Optional[float]) -> float:
         """Log append time: monotone non-decreasing when log-assigned.
 
-        Callers supplying an explicit ``append_time`` (retention tests,
-        follower adoption) are trusted to keep it non-decreasing — the
-        time-bound searches assume it.
+        Caller holds ``_lock``.  Callers supplying an explicit
+        ``append_time`` (retention tests, follower adoption) are trusted
+        to keep it non-decreasing — the time-bound searches assume it.
         """
         if append_time is None:
-            when = time.time()
+            when = self._clock.now()
             if when < self._last_append_time:
                 when = self._last_append_time
         else:
@@ -525,7 +527,7 @@ class PartitionLog:
             stored = StoredRecord(
                 offset=offset,
                 record=record,
-                append_time=self._assign_time(append_time),
+                append_time=self._assign_time_locked(append_time),
             )
             active = self._segments[-1]
             if self._should_roll(active):
@@ -581,7 +583,7 @@ class PartitionLog:
         with self._lock:
             if length == 0:
                 return packed.with_offsets(self._next_offset, self._last_append_time)
-            when = self._assign_time(append_time)
+            when = self._assign_time_locked(append_time)
             base = self._next_offset
             stamped = packed.with_offsets(base, when)
             if length < _MIN_CHUNK_RECORDS:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.sync import create_lock, create_rlock
 from repro.fabric.cluster import FabricCluster
 from repro.fabric.errors import FabricError
 from repro.fabric.partitioner import Partitioner
@@ -113,7 +114,7 @@ class FabricProducer:
         config: Optional[ProducerConfig] = None,
         *,
         principal: Optional[str] = None,
-        sleep_fn: Callable[[float], None] = time.sleep,
+        sleep_fn: Optional[Callable[[float], None]] = None,
         clock: Optional[Clock] = None,
     ) -> None:
         self.config = config or ProducerConfig()
@@ -121,17 +122,17 @@ class FabricProducer:
         self._cluster = cluster
         self._principal = principal
         self._partitioner = Partitioner()
-        self._sleep = sleep_fn
         self._clock: Clock = clock or SystemClock()
-        self._lock = threading.RLock()
+        self._sleep = sleep_fn if sleep_fn is not None else self._clock.sleep
+        self._lock = create_rlock("FabricProducer")
         # Serializes whole flush passes (background vs. foreground) so
         # concurrent flushes cannot interleave batches of one partition.
-        self._flush_lock = threading.Lock()
-        self._pending: Dict[tuple[str, int], RecordBatch] = {}
-        self._sealed: List[RecordBatch] = []
+        self._flush_lock = create_lock("FabricProducer.flush")
+        self._pending: Dict[tuple[str, int], RecordBatch] = {}  #: guarded_by _lock
+        self._sealed: List[RecordBatch] = []  #: guarded_by _lock
         self._partition_counts: Dict[str, tuple[int, float]] = {}
         self._metadata_epoch = cluster.metadata_epoch
-        self._buffered_bytes = 0
+        self._buffered_bytes = 0  #: guarded_by _lock
         self._closed = False
         self._delivery_stop = threading.Event()
         self._delivery_thread: Optional[threading.Thread] = None
@@ -376,7 +377,7 @@ class FabricProducer:
         if epoch != self._metadata_epoch:
             self._partition_counts.clear()
             self._metadata_epoch = epoch
-        now = time.time()
+        now = self._clock.now()
         cached = self._partition_counts.get(topic)
         if cached is None or now - cached[1] >= self.config.metadata_max_age_seconds:
             num_partitions = self._cluster.topic(topic).num_partitions

@@ -14,10 +14,10 @@ record is decoded or re-encoded on the leader → follower path.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.sync import create_rlock
 from repro.fabric.broker import Broker
 from repro.fabric.errors import CorruptBatchError, NotEnoughReplicasError
 from repro.fabric.record import PackedRecordBatch, PackedView
@@ -56,8 +56,8 @@ class ReplicationManager:
 
     def __init__(self, brokers: Dict[int, Broker]) -> None:
         self._brokers = brokers
-        self._assignments: Dict[tuple[str, int], PartitionAssignment] = {}
-        self._lock = threading.RLock()
+        self._assignments: Dict[tuple[str, int], PartitionAssignment] = {}  #: guarded_by _lock
+        self._lock = create_rlock("ReplicationManager")
 
     # ------------------------------------------------------------------ #
     # Assignment bookkeeping

@@ -15,9 +15,9 @@ old O(retained records) walk over a full ``read_all()`` copy.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro.common.clock import SystemClock
 from repro.fabric.partition import PartitionLog
 from repro.fabric.topic import Topic
 
@@ -31,7 +31,7 @@ def enforce_time_retention(
     which binary-searches per-segment append-time bounds and scans only the
     boundary segment — no full-log copy is taken.
     """
-    now = now if now is not None else time.time()
+    now = now if now is not None else SystemClock().now()
     keep_from = log.offset_for_timestamp(now - retention_seconds)
     if keep_from is None:
         # Everything is older than the cutoff.
@@ -68,8 +68,8 @@ def compact(log: PartitionLog) -> int:
 class RetentionEnforcer:
     """Applies a topic's cleanup policy across all of its partitions."""
 
-    def __init__(self, now_fn=time.time) -> None:
-        self._now_fn = now_fn
+    def __init__(self, now_fn: Optional[Callable[[], float]] = None) -> None:
+        self._now_fn = now_fn if now_fn is not None else SystemClock().now
 
     def enforce(self, topic: Topic) -> Dict[int, int]:
         """Run retention/compaction on ``topic``; return removed counts per partition."""

@@ -9,10 +9,11 @@ those settings and the per-partition logs; access control lives in
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
+from repro.common.clock import Clock
+from repro.common.sync import create_rlock
 from repro.fabric.errors import InvalidConfigError, UnknownPartitionError
 from repro.fabric.partition import PartitionLog
 
@@ -132,12 +133,16 @@ class Topic:
 
     name: str
     config: TopicConfig = field(default_factory=TopicConfig)
+    #: Clock handed to every partition log (``None`` = wall clock).
+    clock: Optional[Clock] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.config.validate()
-        self._lock = threading.RLock()
-        self._partitions: Dict[int, PartitionLog] = {
-            index: PartitionLog(self.name, index, **self.config.log_kwargs())
+        self._lock = create_rlock(f"Topic[{self.name}]")
+        self._partitions: Dict[int, PartitionLog] = {  #: guarded_by _lock
+            index: PartitionLog(
+                self.name, index, clock=self.clock, **self.config.log_kwargs()
+            )
             for index in range(self.config.num_partitions)
         }
 
@@ -170,7 +175,7 @@ class Topic:
                 )
             for index in range(current, new_total):
                 self._partitions[index] = PartitionLog(
-                    self.name, index, **self.config.log_kwargs()
+                    self.name, index, clock=self.clock, **self.config.log_kwargs()
                 )
             self.config = self.config.with_updates(num_partitions=new_total)
 

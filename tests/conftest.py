@@ -12,7 +12,23 @@ profile decides.
 
 import os
 
+import pytest
 from hypothesis import settings
+
+from repro.common import sync
 
 settings.register_profile("soak", max_examples=2500, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_sanitizer_state():
+    """Isolate the fabric-san lock-order graph between tests.
+
+    Under ``REPRO_SANITIZE=1`` every fabric lock is instrumented and the
+    order graph is global; without a reset, an AB edge recorded by one
+    test could convict an unrelated BA order in another.
+    """
+    if sync.sanitizer_enabled():
+        sync.reset_sanitizer_state()
+    yield
