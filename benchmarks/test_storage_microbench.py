@@ -1,7 +1,7 @@
 """Micro-benchmarks of the segmented partition-log storage layer.
 
 The segmented :class:`PartitionLog` must beat the pre-segment flat-list
-implementation (kept as :class:`repro.fabric.flatlog.FlatPartitionLog`)
+implementation (kept as :class:`repro.fabric._compat.flatlog.FlatPartitionLog`)
 where the segmentation claims a complexity win, and must not regress the
 append/fetch hot paths.  The headline number is retention: dropping aged
 records from a 100k-record log is whole-segment pointer drops + one
@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.fabric.flatlog import (
+from repro.fabric._compat.flatlog import (
     FlatPartitionLog,
     flat_enforce_size_retention,
     flat_enforce_time_retention,

@@ -62,6 +62,10 @@ RAW_CLOCK_EXEMPT_SUFFIXES = ("common/clock.py",)
 #: Deprecated module imports -> rationale.
 DEPRECATED_MODULES = {
     "repro.fabric.flatlog": (
+        "retired from the public surface; the flat log now lives under "
+        "repro.fabric._compat.flatlog for differential tests only"
+    ),
+    "repro.fabric._compat.flatlog": (
         "superseded by the segmented PartitionLog; kept only for "
         "differential tests and benchmark baselines"
     ),

@@ -22,6 +22,18 @@ applications exercise:
   and committed offsets (at-least-once delivery),
 * retention and compaction policies, and
 * a MirrorMaker-like cross-cluster replicator.
+
+Public API boundary
+-------------------
+``repro.fabric.__all__`` below *is* the supported surface: the classes,
+codec-registry functions and the complete error taxonomy the HTTP gateway
+(:mod:`repro.gateway`) exposes over the wire.  Anything not listed — and
+any module whose name starts with an underscore, such as
+:mod:`repro.fabric._compat` (the retired flat-log kept as a differential
+baseline) — is internal and may change or disappear without a
+deprecation cycle.  New deprecations are enforced mechanically: the
+``DEPRECATED-API`` rule of :mod:`repro.analysis` fails CI on any fresh
+import of a retired module.
 """
 
 from repro.fabric.record import (
@@ -30,6 +42,9 @@ from repro.fabric.record import (
     PackedView,
     RecordBatch,
     RecordMetadata,
+    get_codec,
+    register_codec,
+    registered_codecs,
 )
 from repro.fabric.partition import LogSegment, PartitionLog
 from repro.fabric.topic import Topic, TopicConfig
@@ -44,24 +59,41 @@ from repro.fabric.errors import (
     FabricError,
     UnknownTopicError,
     UnknownPartitionError,
+    UnknownBrokerError,
+    UnknownGroupError,
+    TopicAlreadyExistsError,
     NotEnoughReplicasError,
     NotLeaderError,
     AuthorizationError,
     OffsetOutOfRangeError,
     BrokerUnavailableError,
     RecordTooLargeError,
+    CorruptBatchError,
+    UnknownCodecError,
+    InvalidConfigError,
+    InvalidRequestError,
+    RebalanceInProgressError,
+    IllegalGenerationError,
+    CommitFailedError,
 )
 
 __all__ = [
+    # Records and batches
     "EventRecord",
     "PackedRecordBatch",
     "PackedView",
     "RecordBatch",
     "RecordMetadata",
+    # Codec registry
+    "get_codec",
+    "register_codec",
+    "registered_codecs",
+    # Storage
     "LogSegment",
     "PartitionLog",
     "Topic",
     "TopicConfig",
+    # Cluster, control plane and data plane
     "Broker",
     "FabricAdmin",
     "FabricCluster",
@@ -73,13 +105,25 @@ __all__ = [
     "ConsumerConfig",
     "ConsumerGroupCoordinator",
     "OffsetStore",
+    # Error taxonomy (complete: every FabricError subclass is public, so
+    # the gateway's error mapper is total over this list)
     "FabricError",
     "UnknownTopicError",
     "UnknownPartitionError",
+    "UnknownBrokerError",
+    "UnknownGroupError",
+    "TopicAlreadyExistsError",
     "NotEnoughReplicasError",
     "NotLeaderError",
     "AuthorizationError",
     "OffsetOutOfRangeError",
     "BrokerUnavailableError",
     "RecordTooLargeError",
+    "CorruptBatchError",
+    "UnknownCodecError",
+    "InvalidConfigError",
+    "InvalidRequestError",
+    "RebalanceInProgressError",
+    "IllegalGenerationError",
+    "CommitFailedError",
 ]

@@ -1,0 +1,8 @@
+"""Retired fabric implementations kept as test/benchmark baselines.
+
+Nothing in here is public API: modules under ``repro.fabric._compat``
+exist only so the Hypothesis differential suites and the storage
+micro-benchmarks can compare the live implementation against its
+predecessor.  The ``DEPRECATED-API`` lint rule fails CI on any new
+production import (see :data:`repro.analysis.rules.DEPRECATED_MODULES`).
+"""

@@ -13,7 +13,10 @@ retention and O(n) size accounting.  It is kept for two jobs only:
   whole-segment drops are ≥ 5× faster
   (``benchmarks/test_storage_microbench.py``).
 
-It is not part of the data plane; nothing in the fabric imports it.
+It is not part of the data plane; nothing in the fabric imports it.  It
+used to live at ``repro.fabric.flatlog``; that name is retired from the
+public surface, and both the old and this ``_compat`` location are
+``DEPRECATED-API`` lint entries so no new production import can appear.
 """
 
 from __future__ import annotations

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 from repro.fabric.errors import (
     AuthorizationError,
     TopicAlreadyExistsError,
+    UnknownBrokerError,
     UnknownTopicError,
 )
 from repro.fabric.record import StoredRecord
@@ -34,6 +35,7 @@ from repro.fabric.replication import PartitionAssignment
 from repro.fabric.topic import Topic, TopicConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.fabric.broker import Broker
     from repro.fabric.cluster import Authorizer, FabricCluster
 
 #: Admin authorizer callback signature: (principal, operation, resource) -> bool.
@@ -158,11 +160,19 @@ class FabricAdmin:
     # ------------------------------------------------------------------ #
     # Broker administration / failure injection
     # ------------------------------------------------------------------ #
+    def _broker(self, broker_id: int) -> "Broker":
+        try:
+            return self._cluster._brokers[broker_id]
+        except KeyError:
+            raise UnknownBrokerError(
+                f"broker {broker_id} is not part of cluster {self._cluster.name!r}"
+            ) from None
+
     def fail_broker(self, broker_id: int) -> List[PartitionAssignment]:
         """Crash a broker and re-elect leaders for its partitions."""
         self._authorize("FAIL_BROKER", f"broker:{broker_id}")
         c = self._cluster
-        c._brokers[broker_id].shutdown()
+        self._broker(broker_id).shutdown()
         c._bump_metadata_epoch()
         return c._replication.handle_broker_failure(broker_id)
 
@@ -170,7 +180,7 @@ class FabricAdmin:
         """Bring a broker back; followers re-sync on the next replication pass."""
         self._authorize("RESTORE_BROKER", f"broker:{broker_id}")
         c = self._cluster
-        c._brokers[broker_id].restart()
+        self._broker(broker_id).restart()
         c._bump_metadata_epoch()
         for assignment in c._replication.all_assignments():
             if broker_id in assignment.replicas:

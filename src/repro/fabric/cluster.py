@@ -49,6 +49,7 @@ from repro.fabric.broker import Broker, BrokerSpec
 from repro.fabric.errors import (
     AuthorizationError,
     BrokerUnavailableError,
+    InvalidRequestError,
     RecordTooLargeError,
     UnknownTopicError,
 )
@@ -275,6 +276,12 @@ class FabricCluster:
         self._metadata_epoch = 0
         self._auth_epoch = 0
         self._default_admin: Optional["FabricAdmin"] = None
+        # Data-availability signal for long-poll fetches: the version
+        # counter moves (and waiters wake) after every successful append.
+        # A Condition rather than an Event so many pollers can park on it;
+        # both fields are touched only under the condition's own lock.
+        self._data_cond = threading.Condition()
+        self._append_version = 0
         self._wire_authorizer_invalidation(authorizer)
 
     # ------------------------------------------------------------------ #
@@ -338,6 +345,40 @@ class FabricCluster:
         """
         with self._lock:
             self._auth_epoch += 1
+
+    @property
+    def append_version(self) -> int:
+        """Monotonic counter bumped after every successful append.
+
+        The long-poll primitive: a reader that finds nothing to fetch
+        snapshots this version, re-checks its position, and parks in
+        :meth:`wait_for_data` until the version moves (any partition
+        received data) or its wait budget expires.  Reading it outside
+        the condition's lock is safe for the same reason as
+        :attr:`metadata_epoch` — the worst race is one spurious wakeup.
+        """
+        return self._append_version
+
+    def wait_for_data(self, version: int, timeout: float) -> int:
+        """Block until :attr:`append_version` moves past ``version``.
+
+        Returns the current version (which may equal ``version`` when the
+        wait timed out).  Used by the HTTP gateway's ``max_wait_ms`` fetch
+        long-poll; the snapshot-then-wait protocol means an append that
+        lands between the caller's empty fetch and this wait is never
+        missed — the version has already moved, so the wait returns
+        immediately.
+        """
+        with self._data_cond:
+            if self._append_version == version and timeout > 0:
+                self._data_cond.wait(timeout)
+            return self._append_version
+
+    def _notify_data(self) -> None:
+        """Wake every parked long-poller: new records were appended."""
+        with self._data_cond:
+            self._append_version += 1
+            self._data_cond.notify_all()
 
     def _set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
         """Install the data-plane authorizer (control plane: FabricAdmin)."""
@@ -558,6 +599,10 @@ class FabricCluster:
                     canonical.append_stored(stamped)
         if not stamped_chunks:
             return []
+        # Leader write is durable at this point: wake long-poll fetchers
+        # before the acks bookkeeping so their wait ends as soon as the
+        # records are actually readable.
+        self._notify_data()
         if acks == "all":
             self._replication.check_min_isr(
                 topic_name, partition, topic.config.min_insync_replicas
@@ -935,7 +980,9 @@ class FabricCluster:
         """
         if generation is not None:
             if member_id is None:
-                raise ValueError("member_id is required when generation is given")
+                raise InvalidRequestError(
+                    "member_id is required when generation is given"
+                )
             self._groups.validate_generation(group_id, member_id, generation)
         return self._offsets.commit_many(group_id, offsets, metadata=metadata)
 

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Mapping, NamedTuple, Optional, Tuple, Union
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.sync import create_rlock
+from repro.fabric.errors import InvalidRequestError
 
 TopicPartition = Tuple[str, int]
 
@@ -61,7 +62,7 @@ class OffsetStore:
     ) -> CommittedOffset:
         """Record that ``group_id`` has processed everything below ``offset``."""
         if offset < 0:
-            raise ValueError("committed offset must be >= 0")
+            raise InvalidRequestError("committed offset must be >= 0")
         committed = CommittedOffset(
             offset=offset, metadata=metadata, commit_time=self._clock.now()
         )
@@ -89,7 +90,7 @@ class OffsetStore:
         out: Dict[TopicPartition, CommittedOffset] = {}
         for tp, offset in items:
             if offset < 0:
-                raise ValueError(
+                raise InvalidRequestError(
                     f"committed offset must be >= 0 (got {offset} for {tp[0]}-{tp[1]})"
                 )
             out[tp] = CommittedOffset(offset, metadata, now)

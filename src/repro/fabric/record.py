@@ -729,6 +729,11 @@ class PackedRecordBatch:
         if len(view) < 4:
             raise CorruptBatchError(f"batch wire image too short: {len(view)} bytes")
         if view[0] == _WIRE_MAGIC and view[1] == _WIRE_VERSION:
+            if len(view) < WIRE_HEADER_BYTES:
+                raise CorruptBatchError(
+                    f"batch wire image truncated inside the v1 header: "
+                    f"{len(view)} of {WIRE_HEADER_BYTES} bytes"
+                )
             _, _, codec_id, crc, count, usize = _HEADER.unpack_from(view, 0)
             codec = codec_for_id(codec_id).name
             body = view[WIRE_HEADER_BYTES:]

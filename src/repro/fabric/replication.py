@@ -19,7 +19,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.sync import create_rlock
 from repro.fabric.broker import Broker
-from repro.fabric.errors import CorruptBatchError, NotEnoughReplicasError
+from repro.fabric.errors import (
+    CorruptBatchError,
+    NotEnoughReplicasError,
+    UnknownPartitionError,
+)
 from repro.fabric.record import PackedRecordBatch, PackedView
 
 
@@ -73,7 +77,12 @@ class ReplicationManager:
 
     def assignment(self, topic: str, partition: int) -> PartitionAssignment:
         with self._lock:
-            return self._assignments[(topic, partition)]
+            try:
+                return self._assignments[(topic, partition)]
+            except KeyError:
+                raise UnknownPartitionError(
+                    f"no replica assignment for {topic}-{partition}"
+                ) from None
 
     def assignments_for_topic(self, topic: str) -> List[PartitionAssignment]:
         with self._lock:

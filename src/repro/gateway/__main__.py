@@ -1,0 +1,47 @@
+"""``python -m repro.gateway`` — boot a demo cluster behind the gateway.
+
+Stands up an in-process :class:`~repro.fabric.cluster.FabricCluster`,
+mounts the HTTP front door on it and serves until interrupted.  This is
+a demo/deving entry point, not a deployment story — the fabric itself
+stays in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.fabric.cluster import FabricCluster
+from repro.gateway.routers import Gateway
+from repro.gateway.server import GatewayServer
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway",
+        description="Serve a demo fabric cluster over the HTTP gateway.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8642, help="0 binds an ephemeral port"
+    )
+    parser.add_argument("--brokers", type=int, default=3)
+    parser.add_argument(
+        "--name", default="gateway-demo", help="cluster name shown in /v1/cluster"
+    )
+    args = parser.parse_args(argv)
+
+    cluster = FabricCluster(num_brokers=args.brokers, name=args.name)
+    server = GatewayServer(Gateway(cluster), host=args.host, port=args.port)
+    with server:
+        print(f"repro gateway serving {args.name!r} at {server.url}")  # noqa: T201
+        print("  try: curl " + server.url + "/v1/cluster")  # noqa: T201
+        try:
+            # serve_forever runs on the background thread; park here.
+            server._thread.join()  # type: ignore[union-attr]
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,113 @@
+"""Threaded stdlib HTTP server mounting a :class:`Gateway` application.
+
+One :class:`~http.server.ThreadingHTTPServer` (a thread per connection —
+matching the fabric's thread-safe, lock-instrumented internals) whose
+request handler does nothing but frame parsing: path/query split, body
+read, header passthrough.  All routing, validation and error mapping
+live in :meth:`repro.gateway.routers.Gateway.handle`, so the contract
+tests that drive the application object in-process cover exactly what
+the socket serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.gateway.routers import Gateway
+
+
+class _GatewayHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    gateway: Gateway
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: _GatewayHTTPServer
+
+    # The stdlib handler logs every request to stderr by default; a
+    # gateway embedded in tests and benchmarks must stay quiet.
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass
+
+    def _dispatch(self) -> None:
+        parsed = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length > 0 else b""
+        response = self.server.gateway.handle(
+            self.command,
+            parsed.path,
+            query=dict(parse_qsl(parsed.query)),
+            headers=dict(self.headers.items()),
+            body=body,
+        )
+        data = response.body_bytes()
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        if data:
+            self.wfile.write(data)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_PUT = _dispatch
+    do_DELETE = _dispatch
+
+
+class GatewayServer:
+    """Serve a :class:`Gateway` on a background thread.
+
+    ``port=0`` binds an ephemeral port (the default, so parallel test
+    runs never collide); read the bound address back from
+    :attr:`address` / :attr:`url`.
+    """
+
+    def __init__(
+        self, gateway: Gateway, *, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.gateway = gateway
+        self._http = _GatewayHTTPServer((host, port), _GatewayHandler)
+        self._http.gateway = gateway
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "GatewayServer":
+        if self._thread is not None:
+            raise RuntimeError("gateway server already started")
+        self._thread = threading.Thread(
+            target=self._http.serve_forever,
+            name="repro-gateway-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._http.shutdown()
+        self._thread.join(timeout=5.0)
+        self._http.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+__all__ = ["GatewayServer"]

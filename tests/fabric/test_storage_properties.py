@@ -6,7 +6,7 @@ them with a much larger budget, see ``tests/conftest.py``):
 
 * **Differential**: the segmented :class:`PartitionLog` (driven with tiny
   segments so every sequence crosses many seal/roll boundaries) and the
-  pre-segment flat reference (:class:`repro.fabric.flatlog.FlatPartitionLog`)
+  pre-segment flat reference (:class:`repro.fabric._compat.flatlog.FlatPartitionLog`)
   execute the same operation sequence; every externally observable
   answer — offsets, fetch slices, byte usage, retention outcomes,
   timestamp lookups — must be identical.
@@ -19,7 +19,7 @@ import hypothesis.strategies as st
 from hypothesis import given
 
 from repro.fabric.errors import OffsetOutOfRangeError
-from repro.fabric.flatlog import (
+from repro.fabric._compat.flatlog import (
     FlatPartitionLog,
     flat_enforce_size_retention,
     flat_enforce_time_retention,

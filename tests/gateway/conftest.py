@@ -1,0 +1,76 @@
+"""Shared fixtures for the gateway contract suite.
+
+The contract tests drive :meth:`repro.gateway.Gateway.handle` directly —
+the full routing / schema / authz / error-mapping stack without a
+socket — because the HTTP handler delegates everything to that one
+method (the socket itself is covered by ``test_smoke_socket.py``).
+"""
+
+import json
+from typing import Any, Mapping, Optional
+
+import pytest
+
+from repro.fabric.cluster import FabricCluster
+from repro.gateway import Gateway, GatewayResponse
+
+
+class GatewayClient:
+    """A tiny in-process client: JSON in, (status, payload) out."""
+
+    def __init__(self, gateway: Gateway):
+        self.gateway = gateway
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        json_body: Any = None,
+        body: bytes = b"",
+        query: Optional[Mapping[str, str]] = None,
+        headers: Optional[Mapping[str, str]] = None,
+        principal: Optional[str] = None,
+    ) -> GatewayResponse:
+        headers = dict(headers or {})
+        if json_body is not None:
+            body = json.dumps(json_body).encode()
+            headers.setdefault("Content-Type", "application/json")
+        if principal is not None:
+            headers["Authorization"] = f"Bearer {principal}"
+        return self.gateway.handle(
+            method, path, query=query, headers=headers, body=body
+        )
+
+    def get(self, path: str, **kw) -> GatewayResponse:
+        return self.request("GET", path, **kw)
+
+    def post(self, path: str, **kw) -> GatewayResponse:
+        return self.request("POST", path, **kw)
+
+    def put(self, path: str, **kw) -> GatewayResponse:
+        return self.request("PUT", path, **kw)
+
+    def delete(self, path: str, **kw) -> GatewayResponse:
+        return self.request("DELETE", path, **kw)
+
+
+@pytest.fixture
+def cluster() -> FabricCluster:
+    return FabricCluster(num_brokers=3, name="gateway-test")
+
+
+@pytest.fixture
+def gateway(cluster) -> Gateway:
+    return Gateway(cluster)
+
+
+@pytest.fixture
+def client(gateway) -> GatewayClient:
+    return GatewayClient(gateway)
+
+
+@pytest.fixture
+def make_client():
+    """Wrap any :class:`Gateway` (secured, uninitialized, ...) in a client."""
+    return GatewayClient

@@ -1,0 +1,250 @@
+"""Contract tests for the gateway control plane.
+
+The contract under test (modeled on the reference control-plane suite):
+every response is schema'd JSON; schema violations answer 400 with
+per-field detail; authorization denials answer 403 through the one
+``(principal, operation, resource)`` hook; requests before dependency
+initialization answer a retriable 503; unknown resources answer 404
+with the fabric taxonomy's stable codes.
+"""
+
+import pytest
+
+from repro.gateway import Gateway
+
+
+class TestDependencyInitialization:
+    def test_uninitialized_gateway_answers_503_everywhere(self, make_client):
+        client = make_client(Gateway())
+        for method, path in [
+            ("GET", "/v1/topics"),
+            ("POST", "/v1/topics"),
+            ("GET", "/v1/cluster"),
+            ("GET", "/v1/topics/t/partitions/0/records"),
+        ]:
+            response = client.request(method, path, json_body={"name": "t"})
+            assert response.status == 503, (method, path)
+            assert response.payload["code"] == "UNINITIALIZED"
+            assert response.payload["retriable"] is True
+
+    def test_attach_brings_the_gateway_up(self, cluster, make_client):
+        gateway = Gateway()
+        client = make_client(gateway)
+        assert client.get("/v1/topics").status == 503
+        gateway.attach(cluster)
+        response = client.get("/v1/topics")
+        assert response.status == 200
+        assert response.payload == {"topics": []}
+
+    def test_unknown_routes_still_404_while_uninitialized(self, make_client):
+        # Routing happens before dependency resolution: a bad path is the
+        # client's bug, not the server's readiness.
+        response = make_client(Gateway()).get("/v1/not/a/route")
+        assert response.status == 404
+        assert response.payload["code"] == "UNKNOWN_ROUTE"
+
+
+class TestTopicLifecycle:
+    def test_create_describe_delete_round_trip(self, client):
+        created = client.post(
+            "/v1/topics",
+            json_body={"name": "orders", "config": {"num_partitions": 2}},
+        )
+        assert created.status == 201
+        assert created.payload["name"] == "orders"
+        assert created.payload["config"]["num_partitions"] == 2
+
+        described = client.get("/v1/topics/orders")
+        assert described.status == 200
+        assert described.payload["name"] == "orders"
+
+        listed = client.get("/v1/topics")
+        assert listed.payload == {"topics": ["orders"]}
+
+        deleted = client.delete("/v1/topics/orders")
+        assert deleted.status == 200
+        assert client.get("/v1/topics").payload == {"topics": []}
+
+    def test_duplicate_create_is_409_with_stable_code(self, client):
+        assert client.post("/v1/topics", json_body={"name": "t"}).status == 201
+        response = client.post("/v1/topics", json_body={"name": "t"})
+        assert response.status == 409
+        assert response.payload["code"] == "TOPIC_ALREADY_EXISTS"
+        assert response.payload["retriable"] is False
+
+    def test_unknown_topic_is_404_with_stable_code(self, client):
+        for response in [
+            client.get("/v1/topics/ghost"),
+            client.delete("/v1/topics/ghost"),
+            client.get("/v1/topics/ghost/segments"),
+        ]:
+            assert response.status == 404
+            assert response.payload["code"] == "UNKNOWN_TOPIC"
+
+    def test_config_update_and_partition_grow(self, client):
+        client.post("/v1/topics", json_body={"name": "t"})
+        updated = client.put(
+            "/v1/topics/t/config",
+            json_body={"updates": {"retention_seconds": 60.0}},
+        )
+        assert updated.status == 200
+        assert updated.payload["config"]["retention_seconds"] == 60.0
+
+        grown = client.post(
+            "/v1/topics/t/partitions", json_body={"num_partitions": 4}
+        )
+        assert grown.status == 200
+        assert grown.payload["config"]["num_partitions"] == 4
+
+        shrink = client.post(
+            "/v1/topics/t/partitions", json_body={"num_partitions": 1}
+        )
+        assert shrink.status == 400
+        assert shrink.payload["code"] == "INVALID_CONFIG"
+
+
+class TestSchemaValidation:
+    def test_schema_errors_carry_per_field_detail(self, client):
+        response = client.post(
+            "/v1/topics",
+            json_body={"nam": "typo", "acfg": 1},
+        )
+        assert response.status == 400
+        assert response.payload["code"] == "SCHEMA_VIOLATION"
+        fields = response.payload["details"]["fields"]
+        # All violations reported at once, not first-error-only.
+        assert fields["nam"] == "unknown field"
+        assert fields["acfg"] == "unknown field"
+        assert "required" in fields["name"]
+
+    def test_unknown_config_keys_are_schema_errors(self, client):
+        response = client.post(
+            "/v1/topics",
+            json_body={"name": "t", "config": {"bogus_key": 1}},
+        )
+        assert response.status == 400
+        assert "config.bogus_key" in response.payload["details"]["fields"]
+
+    def test_type_mismatches_are_schema_errors(self, client):
+        response = client.post(
+            "/v1/topics", json_body={"name": ["not", "a", "string"]}
+        )
+        assert response.status == 400
+        assert "expected string" in response.payload["details"]["fields"]["name"]
+
+    def test_non_object_body_is_schema_error(self, client):
+        response = client.post("/v1/topics", json_body=[1, 2, 3])
+        assert response.status == 400
+        assert "body" in response.payload["details"]["fields"]
+
+    def test_malformed_json_is_400_malformed_body(self, client):
+        response = client.post("/v1/topics", body=b"{not json")
+        assert response.status == 400
+        assert response.payload["code"] == "MALFORMED_BODY"
+
+    def test_empty_config_update_is_rejected(self, client):
+        client.post("/v1/topics", json_body={"name": "t"})
+        response = client.put("/v1/topics/t/config", json_body={"updates": {}})
+        assert response.status == 400
+        assert "updates" in response.payload["details"]["fields"]
+
+    def test_non_integer_path_segment_is_schema_error(self, client):
+        response = client.post("/v1/brokers/not-a-number/fail")
+        assert response.status == 400
+        assert "broker" in response.payload["details"]["fields"]
+
+
+class TestAuthorization:
+    @pytest.fixture
+    def secured(self, cluster, make_client):
+        def only_admin(principal, operation, resource):
+            return principal == "admin"
+
+        return make_client(Gateway(cluster, admin_authorizer=only_admin))
+
+    def test_denied_principal_gets_403(self, secured):
+        response = secured.post(
+            "/v1/topics", json_body={"name": "t"}, principal="mallory"
+        )
+        assert response.status == 403
+        assert response.payload["code"] == "AUTHORIZATION_FAILED"
+        assert "mallory" in response.payload["message"]
+
+    def test_anonymous_is_a_principal_too(self, secured):
+        # No auth header means principal None — which the hook may deny.
+        assert secured.post("/v1/topics", json_body={"name": "t"}).status == 403
+
+    def test_allowed_principal_passes(self, secured):
+        response = secured.post(
+            "/v1/topics", json_body={"name": "t"}, principal="admin"
+        )
+        assert response.status == 201
+
+    def test_principal_via_x_repro_principal_header(self, secured):
+        response = secured.post(
+            "/v1/topics",
+            json_body={"name": "t2"},
+            headers={"X-Repro-Principal": "admin"},
+        )
+        assert response.status == 201
+
+
+class TestBrokersAndCluster:
+    def test_fail_and_restore_broker(self, client):
+        client.post("/v1/topics", json_body={"name": "t"})
+        failed = client.post("/v1/brokers/1/fail")
+        assert failed.status == 200
+        assert failed.payload["broker"] == 1
+
+        restored = client.post("/v1/brokers/1/restore")
+        assert restored.status == 200
+        assert restored.payload == {"broker": 1, "online": True}
+
+    def test_unknown_broker_is_404(self, client):
+        response = client.post("/v1/brokers/99/fail")
+        assert response.status == 404
+        assert response.payload["code"] == "UNKNOWN_BROKER"
+
+    def test_describe_cluster(self, client):
+        response = client.get("/v1/cluster")
+        assert response.status == 200
+        assert response.payload["name"] == "gateway-test"
+        assert len(response.payload["brokers"]) == 3
+
+    def test_run_retention(self, client):
+        client.post("/v1/topics", json_body={"name": "t"})
+        response = client.post("/v1/retention", query={"topic": "t"})
+        assert response.status == 200
+        assert response.payload == {"removed": {"t": {0: 0}}}
+
+
+class TestGroups:
+    def test_unknown_group_is_404(self, client):
+        response = client.get("/v1/groups/ghost")
+        assert response.status == 404
+        assert response.payload["code"] == "UNKNOWN_GROUP"
+
+    def test_join_then_describe(self, client):
+        client.post("/v1/topics", json_body={"name": "t"})
+        joined = client.post(
+            "/v1/groups/g/members",
+            json_body={"client_id": "c1", "topics": ["t"]},
+        )
+        assert joined.status == 201
+        listed = client.get("/v1/groups")
+        assert listed.payload == {"groups": ["g"]}
+        described = client.get("/v1/groups/g")
+        assert described.status == 200
+
+
+class TestRouting:
+    def test_method_not_allowed_is_405(self, client):
+        response = client.request("PUT", "/v1/topics")
+        assert response.status == 405
+        assert response.payload["code"] == "METHOD_NOT_ALLOWED"
+        assert "GET" in response.payload["message"]
+
+    def test_unknown_route_is_404(self, client):
+        response = client.get("/v1/definitely/not/a/route")
+        assert response.status == 404
+        assert response.payload["code"] == "UNKNOWN_ROUTE"
