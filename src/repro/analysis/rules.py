@@ -37,6 +37,13 @@ The rules:
 ``DEPRECATED-API``
     No imports of modules in :data:`DEPRECATED_MODULES` and no calls to
     methods in :data:`DEPRECATED_CALLS` from production code.
+
+``SWALLOWED-ERROR``
+    No ``except`` handler whose body only passes/continues in the fault
+    paths (:data:`SWALLOWED_ERROR_PATHS`: the fabric and the gateway).
+    A silently-dropped error in replication or request handling is how
+    data loss hides; handle it, re-raise it, or annotate the swallow
+    with ``# lint: ignore[SWALLOWED-ERROR]`` plus a rationale.
 """
 
 from __future__ import annotations
@@ -383,6 +390,40 @@ class DeprecatedApiRule:
                 )
 
 
+#: Path prefixes (repo-relative, posix) where SWALLOWED-ERROR applies:
+#: the subsystems whose dropped errors can hide data loss.
+SWALLOWED_ERROR_PATHS = ("src/repro/fabric/", "src/repro/gateway/")
+
+
+class SwallowedErrorRule:
+    code = "SWALLOWED-ERROR"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.path.startswith(SWALLOWED_ERROR_PATHS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and self._swallows(node):
+                caught = (
+                    ast.unparse(node.type) if node.type is not None else "Exception"
+                )
+                yield Violation(
+                    self.code, ctx.path, node.lineno,
+                    f"except {caught} swallows the error (body is only "
+                    f"pass/continue) — handle, re-raise, or annotate why",
+                )
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        """True when every statement in the handler body is a no-op."""
+        for stmt in handler.body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / Ellipsis
+            return False
+        return True
+
+
 #: The rule set the driver runs, in report order.
 ALL_RULES = (
     RawClockRule(),
@@ -390,6 +431,7 @@ ALL_RULES = (
     BlockingUnderLockRule(),
     BareAcquireRule(),
     DeprecatedApiRule(),
+    SwallowedErrorRule(),
 )
 
 RULE_CODES = tuple(rule.code for rule in ALL_RULES)

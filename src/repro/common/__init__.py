@@ -1,5 +1,6 @@
-"""Small shared utilities (clocks, id generation) used across subsystems."""
+"""Small shared utilities (clocks, retry policy, id generation)."""
 
 from repro.common.clock import Clock, ManualClock, SystemClock
+from repro.common.retry import RetryPolicy, default_retriable
 
-__all__ = ["Clock", "ManualClock", "SystemClock"]
+__all__ = ["Clock", "ManualClock", "SystemClock", "RetryPolicy", "default_retriable"]

@@ -1,0 +1,136 @@
+"""One retry/backoff policy for every subsystem that retries.
+
+Before this module, producer delivery, replica recovery and the gateway
+long-poll each improvised their own ``while True: try ... sleep`` loop
+with slightly different backoff arithmetic and no deadline budget.
+:class:`RetryPolicy` is the single shared implementation: exponential
+backoff with a multiplicative cap, *deterministic* seeded jitter (so two
+runs of the chaos harness with the same seed sleep the same amounts),
+and an optional overall deadline that clamps the final sleep instead of
+overshooting the caller's time budget.
+
+The policy is a frozen value object — construct once, share freely
+across threads.  All time flows through an injectable
+:class:`~repro.common.clock.Clock` / ``sleep`` callable, so a
+:class:`~repro.common.clock.ManualClock` drives retries in microseconds
+under test.
+
+What counts as retriable is a predicate, defaulting to the duck-typed
+``exc.retriable`` attribute every :class:`repro.fabric.errors.FabricError`
+carries — this module deliberately does not import the fabric, keeping
+``repro.common`` at the bottom of the layering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.common.clock import Clock, SystemClock
+
+
+def default_retriable(exc: BaseException) -> bool:
+    """An exception is retriable iff it says so (``exc.retriable`` truthy)."""
+    return bool(getattr(exc, "retriable", False))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with cap, deterministic jitter and a deadline.
+
+    ``max_attempts``
+        Total number of attempts (first try included).  ``1`` means
+        "no retries".
+    ``base_backoff`` / ``multiplier`` / ``max_backoff``
+        Sleep before retry *n* (1-based) is
+        ``min(base_backoff * multiplier**(n-1), max_backoff)``.
+    ``jitter``
+        Fraction of the computed backoff added as deterministic noise in
+        ``[0, jitter)`` — seeded from ``(seed, attempt)``, never from
+        global random state, so identical policies replay identical
+        schedules.
+    ``deadline``
+        Optional overall budget in seconds, measured from the first call
+        of :meth:`call`.  A sleep never runs past the deadline; once the
+        budget is exhausted the last error is re-raised immediately.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 0.05
+    multiplier: float = 2.0
+    max_backoff: float = 2.0
+    jitter: float = 0.0
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff values must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        if self.deadline is not None and self.deadline < 0:
+            raise ValueError("deadline must be >= 0")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep (seconds) before the retry following failed ``attempt``.
+
+        Deterministic: the jitter term derives from ``(seed, attempt)``
+        via a private :class:`random.Random`, immune to global seeding
+        and hash randomization.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(
+            self.base_backoff * (self.multiplier ** (attempt - 1)),
+            self.max_backoff,
+        )
+        if self.jitter <= 0.0 or base <= 0.0:
+            return base
+        noise = random.Random(self.seed * 1_000_003 + attempt).random()
+        return base * (1.0 + self.jitter * noise)
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        clock: Optional[Clock] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        retriable: Callable[[BaseException], bool] = default_retriable,
+        on_retry: Optional[Callable[[int, BaseException, float], None]] = None,
+    ) -> Any:
+        """Run ``fn`` under this policy and return its result.
+
+        Non-retriable exceptions propagate immediately; retriable ones
+        are swallowed until attempts or the deadline run out, then the
+        *last* one is re-raised.  ``on_retry(attempt, exc, delay)`` fires
+        before each backoff sleep — the hook metrics and tests observe.
+        """
+        clock = clock if clock is not None else SystemClock()
+        sleep_fn = sleep if sleep is not None else clock.sleep
+        started = clock.now()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as exc:
+                if attempt >= self.max_attempts or not retriable(exc):
+                    raise
+                delay = self.backoff_for(attempt)
+                if self.deadline is not None:
+                    remaining = self.deadline - (clock.now() - started)
+                    if remaining <= 0:
+                        raise
+                    delay = min(delay, remaining)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                if delay > 0:
+                    sleep_fn(delay)
+
+
+__all__ = ["RetryPolicy", "default_retriable"]

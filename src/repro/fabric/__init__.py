@@ -62,6 +62,7 @@ from repro.fabric.errors import (
     UnknownBrokerError,
     UnknownGroupError,
     TopicAlreadyExistsError,
+    FencedLeaderError,
     NotEnoughReplicasError,
     NotLeaderError,
     AuthorizationError,
@@ -113,6 +114,7 @@ __all__ = [
     "UnknownBrokerError",
     "UnknownGroupError",
     "TopicAlreadyExistsError",
+    "FencedLeaderError",
     "NotEnoughReplicasError",
     "NotLeaderError",
     "AuthorizationError",

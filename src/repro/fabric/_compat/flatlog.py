@@ -151,9 +151,11 @@ class FlatPartitionLog:
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> list[StoredRecord]:
         return self.fetch_with_usage(
-            offset, max_records=max_records, max_bytes=max_bytes
+            offset, max_records=max_records, max_bytes=max_bytes,
+            isolation=isolation,
         )[0]
 
     def fetch_with_usage(
@@ -161,7 +163,18 @@ class FlatPartitionLog:
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> tuple[list[StoredRecord], int]:
+        # API parity with PartitionLog so the differential property
+        # suite (and the fetch bench) drive both implementations through
+        # the same signature.  A flat log is never replication-managed,
+        # so both isolation levels serve to the log end — mirroring the
+        # segmented log's unmanaged (``None`` high watermark) behaviour.
+        if isolation != "committed" and isolation != "uncommitted":
+            raise ValueError(
+                f"isolation must be 'committed' or 'uncommitted', "
+                f"got {isolation!r}"
+            )
         with self._lock:
             if offset == self._next_offset:
                 return [], 0

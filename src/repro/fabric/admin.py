@@ -28,6 +28,7 @@ from repro.fabric.errors import (
     AuthorizationError,
     TopicAlreadyExistsError,
     UnknownBrokerError,
+    UnknownPartitionError,
     UnknownTopicError,
 )
 from repro.fabric.record import StoredRecord
@@ -267,16 +268,21 @@ class FabricAdmin:
         logical_size_bytes, min_append_time, max_append_time, sealed,
         contiguous}`` — the operator's view of what a retention run would
         drop whole, where the active segment sits, and how much batch
-        compression is actually saving on disk.  Pass ``partition`` to
-        restrict the answer to one partition.
+        compression is actually saving on disk.  Each partition also
+        carries its replication placement — ``leader``, ``leader_epoch``,
+        ``isr`` and the leader log's ``high_watermark`` — so the failover
+        state (who leads, under which fencing epoch, how far committed
+        reads go) is inspectable from the same call.  Pass ``partition``
+        to restrict the answer to one partition.
         """
         self._authorize("DESCRIBE", f"topic:{name}")
-        topic = self._cluster.topic(name)
+        c = self._cluster
+        topic = c.topic(name)
         indices = [partition] if partition is not None else sorted(topic.partitions())
         partitions = {}
         for index in indices:
             log = topic.partition(index)
-            partitions[index] = {
+            entry = {
                 "log_start_offset": log.log_start_offset,
                 "log_end_offset": log.log_end_offset,
                 "size_bytes": log.size_bytes,
@@ -284,6 +290,23 @@ class FabricAdmin:
                 "num_segments": log.num_segments,
                 "segments": log.describe_segments(),
             }
+            try:
+                assignment = c._replication.assignment(name, index)
+            except UnknownPartitionError:
+                assignment = None  # canonical-only topic: no placement yet
+            if assignment is not None:
+                entry["leader"] = assignment.leader
+                entry["leader_epoch"] = assignment.leader_epoch
+                entry["isr"] = list(assignment.isr)
+                leader_broker = c._brokers.get(assignment.leader)
+                entry["high_watermark"] = (
+                    leader_broker.replica(name, index).high_watermark
+                    if leader_broker is not None
+                    and leader_broker.online
+                    and leader_broker.has_replica(name, index)
+                    else None
+                )
+            partitions[index] = entry
         return {"topic": name, "partitions": partitions}
 
     def list_topics(self) -> List[str]:

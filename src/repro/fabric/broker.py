@@ -10,7 +10,7 @@ leadership; the broker itself only stores data and serves requests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.common.clock import Clock
 from repro.common.sync import create_rlock
@@ -51,6 +51,18 @@ class Broker:
         self._replicas: Dict[Tuple[str, int], PartitionLog] = {}  #: guarded_by _lock
         self._lock = create_rlock(f"Broker[{spec.broker_id}]")
         self._online = True
+        #: Chaos seam: called as ``hook(op, topic, partition)`` at the top
+        #: of each data-plane entry point.  A hook may sleep (slow disk)
+        #: or raise (injected I/O failure).  ``None`` costs one attribute
+        #: read on the hot path.
+        self._fault_hook: Optional[Callable[[str, str, int], None]] = None
+        #: Observation seam: called after every successful leader append
+        #: with ``(broker_id, topic, partition, leader_epoch, base_offset,
+        #: count)`` — the chaos harness derives its "one leader per epoch"
+        #: invariant from this stream.
+        self._append_listener: Optional[
+            Callable[[int, str, int, int, int, int], None]
+        ] = None
 
     # ------------------------------------------------------------------ #
     # Liveness (failure injection)
@@ -72,6 +84,31 @@ class Broker:
     def _check_online(self) -> None:
         if not self._online:
             raise BrokerUnavailableError(f"broker {self.broker_id} is offline")
+
+    # ------------------------------------------------------------------ #
+    # Chaos / observation seams
+    # ------------------------------------------------------------------ #
+    def set_fault_hook(
+        self, hook: Optional[Callable[[str, str, int], None]]
+    ) -> None:
+        """Install (or clear) the fault-injection hook.
+
+        The hook runs at the top of ``append_packed``/``replicate``/
+        ``fetch`` with ``(op, topic, partition)``; it may sleep to model a
+        slow disk or raise a :class:`FabricError` to model an I/O fault.
+        """
+        self._fault_hook = hook
+
+    def set_append_listener(
+        self, listener: Optional[Callable[[int, str, int, int, int, int], None]]
+    ) -> None:
+        """Install (or clear) the post-append observation listener."""
+        self._append_listener = listener
+
+    def _faults(self, op: str, topic: str, partition: int) -> None:
+        hook = self._fault_hook
+        if hook is not None:
+            hook(op, topic, partition)
 
     # ------------------------------------------------------------------ #
     # Replica management
@@ -179,7 +216,12 @@ class Broker:
         return self.replica(topic, partition).append_batch(records)
 
     def append_packed(
-        self, topic: str, partition: int, packed: PackedRecordBatch
+        self,
+        topic: str,
+        partition: int,
+        packed: PackedRecordBatch,
+        *,
+        leader_epoch: Optional[int] = None,
     ) -> PackedRecordBatch:
         """Adopt a producer-sealed packed batch on the local replica.
 
@@ -187,20 +229,45 @@ class Broker:
         sealed becomes the log's storage chunk directly, and the returned
         offset-stamped form (sharing its records and payload) is what the
         cluster forwards to the canonical partition and persistence sinks.
+
+        ``leader_epoch`` fences the write: an epoch older than the log
+        has seen raises :class:`FencedLeaderError` before any record is
+        admitted (a deposed leader cannot fork history).
         """
         self._check_online()
-        return self.replica(topic, partition).append_packed(packed)
+        self._faults("append", topic, partition)
+        log = self.replica(topic, partition)
+        log.note_leader_epoch(leader_epoch)
+        stamped = log.append_packed(packed)
+        listener = self._append_listener
+        if listener is not None:
+            listener(
+                self.broker_id, topic, partition, log.leader_epoch,
+                stamped.base_offset, len(stamped),
+            )
+        return stamped
 
     def replicate(
-        self, topic: str, partition: int, records: Iterable[StoredRecord]
+        self,
+        topic: str,
+        partition: int,
+        records: Iterable[StoredRecord],
+        *,
+        leader_epoch: Optional[int] = None,
     ) -> int:
         """Follower path: copy records appended on the leader.
 
         Offsets are preserved; the whole batch is adopted under a single
-        log lock.  Returns the follower's new log end offset.
+        log lock.  ``leader_epoch`` fences the push exactly like
+        :meth:`append_packed` — a deposed leader's replication traffic is
+        rejected, and a newer epoch is adopted into the follower's epoch
+        history.  Returns the follower's new log end offset.
         """
         self._check_online()
-        return self.replica(topic, partition).append_stored(records)
+        self._faults("replicate", topic, partition)
+        log = self.replica(topic, partition)
+        log.note_leader_epoch(leader_epoch)
+        return log.append_stored(records)
 
     def fetch(
         self,
@@ -209,10 +276,13 @@ class Broker:
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> list[StoredRecord]:
         self._check_online()
+        self._faults("fetch", topic, partition)
         records = self.replica(topic, partition).fetch(
-            offset, max_records=max_records, max_bytes=max_bytes
+            offset, max_records=max_records, max_bytes=max_bytes,
+            isolation=isolation,
         )
         if isinstance(records, PackedView):
             # Memoized per chunk (free for already-verified batches), but
@@ -228,6 +298,7 @@ class Broker:
         max_records: int = 500,
         max_bytes: Optional[int] = None,
         logs: Optional[list[PartitionLog]] = None,
+        isolation: str = "committed",
     ) -> Tuple[Dict[Tuple[str, int], list[StoredRecord]], int, int]:
         """Serve several partition fetches in one broker round trip.
 
@@ -269,7 +340,9 @@ class Broker:
                     break
                 cap = request[3]
                 limit = remaining if cap is None or cap > remaining else cap
-                records, _ = log.fetch_with_usage(request[2], max_records=limit)
+                records, _ = log.fetch_with_usage(
+                    request[2], max_records=limit, isolation=isolation
+                )
                 if records:
                     out[(request[0], request[1])] = records
                     remaining -= len(records)
@@ -281,7 +354,8 @@ class Broker:
             cap = request[3]
             limit = remaining if cap is None or cap > remaining else cap
             records, used = log.fetch_with_usage(
-                request[2], max_records=limit, max_bytes=budget
+                request[2], max_records=limit, max_bytes=budget,
+                isolation=isolation,
             )
             if records:
                 out[(request[0], request[1])] = records

@@ -154,13 +154,20 @@ class FetchSession:
         *,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> Dict[TopicPartition, List[StoredRecord]]:
-        """Fetch every requested partition in one pass under shared caps."""
+        """Fetch every requested partition in one pass under shared caps.
+
+        ``isolation="committed"`` (the default) serves only offsets below
+        each partition's high watermark; ``"uncommitted"`` opts back into
+        reading to the log end.
+        """
         return self._cluster._session_fetch(
             self,
             _normalize_fetch_requests(requests),
             max_records=max_records,
             max_bytes=max_bytes,
+            isolation=isolation,
         )
 
     def set_assignment(self, partitions: Sequence[TopicPartition]) -> None:
@@ -187,6 +194,7 @@ class FetchSession:
         start: int = 0,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> Dict[TopicPartition, List[StoredRecord]]:
         """Fetch the standing assignment from ``positions`` in one pass.
 
@@ -196,7 +204,7 @@ class FetchSession:
         assignment.  ``positions`` is read during the call only.
         """
         return self._cluster._assignment_fetch(
-            self, positions, start, max_records, max_bytes
+            self, positions, start, max_records, max_bytes, isolation
         )
 
     def _resolve(self, topic: str, partition: int) -> Tuple[Broker, "object"]:
@@ -265,7 +273,7 @@ class FabricCluster:
         }
         self._topics: Dict[str, Topic] = {}
         self._lock = create_rlock("FabricCluster")
-        self._replication = ReplicationManager(self._brokers)
+        self._replication = ReplicationManager(self._brokers, clock=self._clock)
         self._offsets = OffsetStore(clock=self._clock)
         self._groups = ConsumerGroupCoordinator(clock=self._clock)
         self._retention = RetentionEnforcer(now_fn=self._clock.now)
@@ -378,6 +386,17 @@ class FabricCluster:
         """Wake every parked long-poller: new records were appended."""
         with self._data_cond:
             self._append_version += 1
+            self._data_cond.notify_all()
+
+    def interrupt_waiters(self) -> None:
+        """Wake every parked long-poller *without* signalling new data.
+
+        The graceful-drain hook: :attr:`append_version` does not move, so
+        a woken poller re-checks its deadline (and the gateway its drain
+        flag) and returns promptly instead of parking out its full wait
+        budget against a server that is shutting down.
+        """
+        with self._data_cond:
             self._data_cond.notify_all()
 
     def _set_authorizer(self, authorizer: Optional[Authorizer]) -> None:
@@ -565,6 +584,11 @@ class FabricCluster:
         topic = self.topic(topic_name)
         canonical = topic.partition(partition)  # validates the partition exists
         leader = self._leader_for(topic_name, partition)
+        # Snapshot the leader epoch *after* leader resolution (which may
+        # have elected): the epoch fences this produce — if leadership
+        # moves concurrently, the stale append raises a retriable
+        # FencedLeaderError instead of forking history on a deposed leader.
+        leader_epoch = self._replication.assignment(topic_name, partition).leader_epoch
         if len(chunks) > 1:
             # Validate every chunk up front so a multi-chunk forward stays
             # atomic: the single-chunk path validates inside append_packed.
@@ -590,7 +614,9 @@ class FabricCluster:
             for chunk in chunks:
                 if len(chunk) == 0:
                     continue
-                stamped = leader.append_packed(topic_name, partition, chunk)
+                stamped = leader.append_packed(
+                    topic_name, partition, chunk, leader_epoch=leader_epoch
+                )
                 stamped_chunks.append(stamped)
                 # Mirror into the logical topic view by reference: the
                 # canonical log adopts the leader's packed chunk directly,
@@ -599,19 +625,24 @@ class FabricCluster:
                     canonical.append_stored(stamped)
         if not stamped_chunks:
             return []
-        # Leader write is durable at this point: wake long-poll fetchers
-        # before the acks bookkeeping so their wait ends as soon as the
-        # records are actually readable.
-        self._notify_data()
-        if acks == "all":
-            self._replication.check_min_isr(
-                topic_name, partition, topic.config.min_insync_replicas
-            )
-        elif acks in (1, "1"):
-            # Leader write already durable; followers catch up asynchronously.
-            pass
-        # acks == 0: nothing further.
-        self._replication.replicate_from_leader(topic_name, partition)
+        try:
+            if acks == "all":
+                # check_min_isr replicates as a side effect (advancing the
+                # high watermark), so no second pass is needed.
+                self._replication.check_min_isr(
+                    topic_name, partition, topic.config.min_insync_replicas
+                )
+            else:
+                # acks 0/1: leader write is durable; one synchronous
+                # replication round keeps followers and the high watermark
+                # moving with the append.
+                self._replication.replicate_from_leader(topic_name, partition)
+        finally:
+            # Wake long-poll fetchers only after replication has advanced
+            # the high watermark — committed readers woken earlier would
+            # find nothing below the watermark and burn their wait budget.
+            # ``finally`` keeps waiters live when acks=all raises.
+            self._notify_data()
         if topic.config.persist_to_store:
             for stamped in stamped_chunks:
                 for index in range(len(stamped)):
@@ -647,13 +678,21 @@ class FabricCluster:
         max_records: int = 500,
         max_bytes: Optional[int] = None,
         principal: Optional[str] = None,
+        isolation: str = "committed",
     ) -> List[StoredRecord]:
-        """Fetch records from the partition leader starting at ``offset``."""
+        """Fetch records from the partition leader starting at ``offset``.
+
+        ``isolation="committed"`` (the default) serves only offsets below
+        the high watermark — records every in-sync replica holds;
+        ``"uncommitted"`` reads to the log end (the pre-watermark
+        behaviour, and what replication itself uses).
+        """
         self._authorize(principal, "READ", topic_name)
         self.topic(topic_name)
         leader = self._leader_for(topic_name, partition)
         return leader.fetch(
-            topic_name, partition, offset, max_records=max_records, max_bytes=max_bytes
+            topic_name, partition, offset, max_records=max_records,
+            max_bytes=max_bytes, isolation=isolation,
         )
 
     def fetch_session(self, *, principal: Optional[str] = None) -> FetchSession:
@@ -667,6 +706,7 @@ class FabricCluster:
         max_records: int = 500,
         max_bytes: Optional[int] = None,
         principal: Optional[str] = None,
+        isolation: str = "committed",
     ) -> Dict[TopicPartition, List[StoredRecord]]:
         """Fetch several partitions (possibly several topics) in one pass.
 
@@ -678,7 +718,8 @@ class FabricCluster:
         leader resolutions are also cached *across* calls.
         """
         return FetchSession(self, principal=principal).fetch(
-            requests, max_records=max_records, max_bytes=max_bytes
+            requests, max_records=max_records, max_bytes=max_bytes,
+            isolation=isolation,
         )
 
     def _session_fetch(
@@ -688,6 +729,7 @@ class FabricCluster:
         *,
         max_records: int,
         max_bytes: Optional[int],
+        isolation: str = "committed",
     ) -> Dict[TopicPartition, List[StoredRecord]]:
         out: Dict[TopicPartition, List[StoredRecord]] = {}
         if not requests:
@@ -742,6 +784,7 @@ class FabricCluster:
                     max_records=remaining,
                     max_bytes=budget,
                     logs=logs[run_start:index],
+                    isolation=isolation,
                 )
             except BrokerUnavailableError:
                 # The leader crashed between resolution and fetch: fail over
@@ -756,6 +799,7 @@ class FabricCluster:
                         [item],
                         max_records=remaining - count,
                         max_bytes=None if budget is None else budget - nbytes,
+                        isolation=isolation,
                     )
                     served.update(sub)
                     count += sub_count
@@ -776,6 +820,7 @@ class FabricCluster:
         start: int,
         max_records: int,
         max_bytes: Optional[int],
+        isolation: str = "committed",
     ) -> Dict[TopicPartition, List[StoredRecord]]:
         """Serve a session's standing assignment (see :meth:`FetchSession.set_assignment`).
 
@@ -835,7 +880,8 @@ class FabricCluster:
                             break
                         tp = assignment[i]
                         records, _ = logs[i].fetch_with_usage(
-                            positions[tp], max_records=remaining
+                            positions[tp], max_records=remaining,
+                            isolation=isolation,
                         )
                         if records:
                             out[tp] = records
@@ -846,7 +892,8 @@ class FabricCluster:
                             break
                         tp = assignment[i]
                         records, used = logs[i].fetch_with_usage(
-                            positions[tp], max_records=remaining, max_bytes=budget
+                            positions[tp], max_records=remaining, max_bytes=budget,
+                            isolation=isolation,
                         )
                         if records:
                             out[tp] = records
@@ -863,7 +910,8 @@ class FabricCluster:
                     tp = assignment[i]
                     _, log = session._resolve(tp[0], tp[1])
                     records, used = log.fetch_with_usage(
-                        positions[tp], max_records=remaining, max_bytes=budget
+                        positions[tp], max_records=remaining, max_bytes=budget,
+                        isolation=isolation,
                     )
                     if records:
                         out[tp] = records
@@ -917,6 +965,20 @@ class FabricCluster:
         except BrokerUnavailableError:
             return 0  # matches end_offsets() when no replica is online
         return leader.replica(topic_name, partition).log_end_offset
+
+    def high_watermark(self, topic_name: str, partition: int) -> int:
+        """Committed offset bound of one partition, from the leader log.
+
+        Consumers catching up on lag should measure against this, not
+        :meth:`end_offset`: offsets in ``[high_watermark, log_end)`` are
+        not yet fully ISR-replicated and are invisible to committed reads.
+        """
+        self.topic(topic_name)
+        try:
+            leader = self._leader_for(topic_name, partition)
+        except BrokerUnavailableError:
+            return 0  # matches end_offset() when no replica is online
+        return leader.replica(topic_name, partition).high_watermark
 
     def beginning_offset(self, topic_name: str, partition: int) -> int:
         """Log-start offset of a single partition (see :meth:`end_offset`)."""

@@ -76,6 +76,21 @@ class NotLeaderError(FabricError):
     retriable = True
 
 
+class FencedLeaderError(FabricError):
+    """A writer presented a leader epoch older than the log has seen.
+
+    Elections stamp a monotonically increasing epoch on the partition
+    assignment; a deposed leader that keeps writing (network partition,
+    paused process) is *fenced* — its appends and replication pushes are
+    rejected rather than silently forked into a second history.
+    Retriable: the stale writer refreshes metadata, discovers the new
+    leader and epoch, and routes there.
+    """
+
+    code = "FENCED_LEADER"
+    retriable = True
+
+
 class NotEnoughReplicasError(FabricError):
     """``acks="all"`` was requested but the ISR is below ``min.insync.replicas``."""
 
@@ -173,6 +188,7 @@ __all__ = [
     "UnknownGroupError",
     "TopicAlreadyExistsError",
     "NotLeaderError",
+    "FencedLeaderError",
     "NotEnoughReplicasError",
     "BrokerUnavailableError",
     "AuthorizationError",

@@ -1,0 +1,634 @@
+"""Deterministic chaos: seeded fault plans driven by the manual clock.
+
+The fabric's failure handling — fenced failover (leader epochs), the high
+watermark, retry policies, replica recovery — is only trustworthy if it can
+be *exercised* reproducibly.  This module provides that harness:
+
+* :class:`FaultEvent` / :class:`FaultPlan` — a declarative, seed-generated
+  schedule of faults (broker crashes and restores, replication-link drops /
+  duplicates, chunk-ingress corruption, slow-disk stalls), ordered by
+  injection time on the cluster's clock.
+* :class:`FaultInjector` — applies a plan against a live
+  :class:`~repro.fabric.cluster.FabricCluster` through the chaos seams
+  (:meth:`Broker.set_fault_hook`, :meth:`Broker.set_append_listener`,
+  :meth:`ReplicationManager.set_link_filter`,
+  :meth:`FabricAdmin.fail_broker`/:meth:`~FabricAdmin.restore_broker`).
+  ``step()`` is called after each clock advance and applies every event
+  whose time has come.
+* :func:`run_chaos_scenario` — the end-to-end determinism gate: builds a
+  :class:`~repro.common.clock.ManualClock`-driven cluster, runs seeded
+  traffic under the plan, heals, then checks the safety invariants (no
+  committed read above the high watermark, exactly one accepting leader
+  per epoch, replicas converge after heal, stale epochs stay fenced) and
+  digests the end state.  Same seed → same schedule → same digest, twice.
+
+Everything here is pure stdlib and everything random flows from one
+``random.Random(seed)`` — there is no wall-clock or OS entropy anywhere on
+the path, which is what lets CI run the scenario twice and ``diff`` the
+JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.clock import ManualClock
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.errors import (
+    CorruptBatchError,
+    FabricError,
+    FencedLeaderError,
+)
+from repro.fabric.record import EventRecord, PackedRecordBatch
+from repro.fabric.topic import TopicConfig
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "run_chaos_scenario",
+    "main",
+]
+
+#: Every fault kind a plan may schedule.  ``broker_crash``/``broker_restore``
+#: toggle broker liveness through the admin plane (with leader re-election);
+#: ``link_drop``/``link_heal``/``link_duplicate`` shape the directed
+#: replication link leader→follower; ``chunk_corruption`` makes the next
+#: replicate ingress on a broker fail its CRC check; ``slow_disk``/
+#: ``slow_disk_clear`` add or remove a per-broker I/O stall.
+FAULT_KINDS = (
+    "broker_crash",
+    "broker_restore",
+    "link_drop",
+    "link_heal",
+    "link_duplicate",
+    "chunk_corruption",
+    "slow_disk",
+    "slow_disk_clear",
+)
+
+_LINK_KINDS = ("link_drop", "link_heal", "link_duplicate")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: *at* clock-seconds, do *kind* to *broker_id*.
+
+    ``peer_id`` names the follower end of a link fault (the link is the
+    directed replication edge ``broker_id → peer_id``); ``delay_seconds``
+    is the stall length for ``slow_disk``.  Fields that a kind does not
+    use stay ``None``/``0.0`` so every event serializes uniformly.
+    """
+
+    at: float
+    kind: str
+    broker_id: int
+    peer_id: Optional[int] = None
+    topic: Optional[str] = None
+    partition: Optional[int] = None
+    delay_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in _LINK_KINDS and self.peer_id is None:
+            raise ValueError(f"{self.kind} requires a peer_id")
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+
+    def describe(self) -> dict:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "broker_id": self.broker_id,
+            "peer_id": self.peer_id,
+            "topic": self.topic,
+            "partition": self.partition,
+            "delay_seconds": self.delay_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the fault schedule that seed generated, time-ordered."""
+
+    seed: int
+    events: Tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.at))
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        brokers: Sequence[int],
+        topic: str,
+        partitions: int,
+        horizon: float = 8.0,
+        events: int = 14,
+    ) -> "FaultPlan":
+        """Draw ``events`` faults from ``random.Random(seed)``.
+
+        Generation is stateless with respect to the cluster: it only picks
+        *candidate* targets (e.g. it may schedule a crash for a broker that
+        will already be down).  :class:`FaultInjector` resolves such events
+        as deterministic no-ops, so the schedule never depends on runtime
+        state and the same seed always yields the same plan.
+        """
+        if not brokers:
+            raise ValueError("need at least one broker id")
+        rng = random.Random(seed)
+        broker_ids = list(brokers)
+        drawn: List[FaultEvent] = []
+        for _ in range(events):
+            at = round(rng.uniform(0.0, horizon), 3)
+            kind = rng.choice(FAULT_KINDS)
+            broker_id = rng.choice(broker_ids)
+            peer_id: Optional[int] = None
+            partition: Optional[int] = None
+            delay = 0.0
+            if kind in _LINK_KINDS:
+                peers = [b for b in broker_ids if b != broker_id]
+                if not peers:
+                    kind = "slow_disk_clear"  # degenerate 1-broker plan
+                else:
+                    peer_id = rng.choice(peers)
+            if kind == "chunk_corruption":
+                partition = rng.randrange(partitions)
+            if kind == "slow_disk":
+                delay = round(rng.uniform(0.05, 0.5), 3)
+            drawn.append(
+                FaultEvent(
+                    at=at,
+                    kind=kind,
+                    broker_id=broker_id,
+                    peer_id=peer_id,
+                    topic=topic,
+                    partition=partition,
+                    delay_seconds=delay,
+                )
+            )
+        return cls(seed=seed, events=tuple(drawn))
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "events": [event.describe() for event in self.events],
+        }
+
+    def digest(self) -> str:
+        """Stable content hash of the schedule (CI compares this)."""
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a cluster as its clock advances.
+
+    The injector owns the mutable fault state (dropped links, stall
+    delays, pending corruptions) and exposes it to the fabric through the
+    chaos seams.  ``step()`` fires every not-yet-applied event whose
+    ``at`` is ≤ the cluster clock; events that make no sense in the
+    current state (crashing an offline broker, healing an intact link)
+    are recorded as skipped rather than forced, so replaying the same
+    plan against the same traffic always produces the same transcript.
+    """
+
+    cluster: FabricCluster
+    plan: FaultPlan
+    #: ``(event, outcome)`` transcript, outcome ∈ {"applied", "skipped"}.
+    applied: List[Tuple[FaultEvent, str]] = field(default_factory=list)
+    #: Leader appends observed via the broker listeners:
+    #: ``(broker_id, topic, partition, leader_epoch, base_offset, count)``.
+    appends: List[Tuple[int, str, int, int, int, int]] = field(
+        default_factory=list
+    )
+
+    def __post_init__(self) -> None:
+        self._cursor = 0
+        self._links: Dict[Tuple[int, int], str] = {}
+        self._stalls: Dict[int, float] = {}
+        self._corruptions: Dict[int, int] = {}
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+    # Seam wiring
+    # ------------------------------------------------------------------ #
+    def install(self) -> None:
+        """Hook the injector into every broker and the replication plane."""
+        if self._installed:
+            return
+        for broker in self.cluster._brokers.values():
+            broker.set_fault_hook(self._make_hook(broker.broker_id))
+            broker.set_append_listener(self._on_append)
+        self.cluster._replication.set_link_filter(self._link_verdict)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Remove every hook; the cluster behaves normally afterwards."""
+        for broker in self.cluster._brokers.values():
+            broker.set_fault_hook(None)
+            broker.set_append_listener(None)
+        self.cluster._replication.set_link_filter(None)
+        self._installed = False
+
+    def _make_hook(self, broker_id: int):
+        def hook(op: str, topic: str, partition: int) -> None:
+            stall = self._stalls.get(broker_id)
+            if stall:
+                # ManualClock.sleep advances the shared clock, so a stall
+                # is visible to everything timed — deterministically.
+                self.cluster.clock.sleep(stall)
+            if op == "replicate" and self._corruptions.get(broker_id, 0) > 0:
+                self._corruptions[broker_id] -= 1
+                raise CorruptBatchError(
+                    f"chaos: injected CRC failure at broker {broker_id} "
+                    f"ingress for {topic}[{partition}]"
+                )
+
+        return hook
+
+    def _on_append(
+        self,
+        broker_id: int,
+        topic: str,
+        partition: int,
+        leader_epoch: int,
+        base_offset: int,
+        count: int,
+    ) -> None:
+        self.appends.append(
+            (broker_id, topic, partition, leader_epoch, base_offset, count)
+        )
+
+    def _link_verdict(
+        self, leader_id: int, follower_id: int, topic: str, partition: int
+    ) -> str:
+        return self._links.get((leader_id, follower_id), "ok")
+
+    # ------------------------------------------------------------------ #
+    # Schedule application
+    # ------------------------------------------------------------------ #
+    def step(self) -> List[Tuple[FaultEvent, str]]:
+        """Apply every pending event with ``at`` ≤ the cluster clock."""
+        now = self.cluster.clock.now()
+        fired: List[Tuple[FaultEvent, str]] = []
+        while self._cursor < len(self.plan.events):
+            event = self.plan.events[self._cursor]
+            if event.at > now:
+                break
+            self._cursor += 1
+            outcome = self._apply(event)
+            entry = (event, outcome)
+            self.applied.append(entry)
+            fired.append(entry)
+        return fired
+
+    def _apply(self, event: FaultEvent) -> str:
+        admin = self.cluster.admin()
+        brokers = self.cluster._brokers
+        broker = brokers.get(event.broker_id)
+        if broker is None:
+            return "skipped"
+        if event.kind == "broker_crash":
+            online = [b for b in brokers.values() if b.online]
+            # Never take down the last broker: a fully dark cluster has no
+            # invariants left to check and the scenario would just starve.
+            if not broker.online or len(online) <= 1:
+                return "skipped"
+            admin.fail_broker(event.broker_id)
+            return "applied"
+        if event.kind == "broker_restore":
+            if broker.online:
+                return "skipped"
+            admin.restore_broker(event.broker_id)
+            return "applied"
+        if event.kind in _LINK_KINDS:
+            link = (event.broker_id, event.peer_id)
+            if event.kind == "link_heal":
+                if link not in self._links:
+                    return "skipped"
+                del self._links[link]
+            else:
+                verdict = "drop" if event.kind == "link_drop" else "duplicate"
+                self._links[link] = verdict
+            return "applied"
+        if event.kind == "chunk_corruption":
+            self._corruptions[event.broker_id] = (
+                self._corruptions.get(event.broker_id, 0) + 1
+            )
+            return "applied"
+        if event.kind == "slow_disk":
+            self._stalls[event.broker_id] = event.delay_seconds
+            return "applied"
+        if event.kind == "slow_disk_clear":
+            if event.broker_id not in self._stalls:
+                return "skipped"
+            del self._stalls[event.broker_id]
+            return "applied"
+        return "skipped"
+
+    def heal(self) -> None:
+        """Clear all standing fault state and bring every broker back.
+
+        The schedule cursor is not rewound: events already applied stay in
+        the transcript, and any not-yet-due events are abandoned.
+        """
+        self._cursor = len(self.plan.events)
+        self._links.clear()
+        self._stalls.clear()
+        self._corruptions.clear()
+        admin = self.cluster.admin()
+        for broker_id, broker in sorted(self.cluster._brokers.items()):
+            if not broker.online:
+                admin.restore_broker(broker_id)
+
+    def transcript(self) -> List[dict]:
+        return [
+            {**event.describe(), "outcome": outcome}
+            for event, outcome in self.applied
+        ]
+
+
+# ---------------------------------------------------------------------- #
+# End-to-end scenario
+# ---------------------------------------------------------------------- #
+def _record_hashes(cluster: FabricCluster, topic: str, partitions: int) -> dict:
+    """Per-replica content hash of every partition log (uncommitted view)."""
+    hashes: Dict[str, Dict[str, str]] = {}
+    for partition in range(partitions):
+        per_replica: Dict[str, str] = {}
+        for broker_id, broker in sorted(cluster._brokers.items()):
+            if not broker.online or not broker.has_replica(topic, partition):
+                continue
+            log = broker.replica(topic, partition)
+            digest = hashlib.sha256()
+            end = log.log_end_offset
+            if end:
+                for stored in log.fetch(
+                    0, max_records=end, max_bytes=None, isolation="uncommitted"
+                ):
+                    digest.update(
+                        json.dumps(
+                            [stored.offset, stored.record.key, stored.record.value],
+                            sort_keys=True,
+                        ).encode("utf-8")
+                    )
+            per_replica[str(broker_id)] = digest.hexdigest()
+        hashes[str(partition)] = per_replica
+    return hashes
+
+
+def run_chaos_scenario(
+    seed: int,
+    *,
+    brokers: int = 3,
+    partitions: int = 2,
+    horizon: float = 8.0,
+    events: int = 14,
+    ticks: int = 40,
+) -> dict:
+    """Run one full chaos scenario and return its deterministic report.
+
+    The scenario: a ``ManualClock`` cluster runs seeded produce/fetch
+    traffic while a :class:`FaultInjector` walks a
+    :meth:`FaultPlan.generate` schedule; then the cluster heals, replicas
+    re-sync, and the safety invariants are checked.  The report's
+    ``state_digest`` covers the applied schedule, the final partition
+    state (leaders, epochs, ISRs, high watermarks, per-replica content
+    hashes) and every invariant violation — two runs with the same seed
+    must return byte-identical reports.
+    """
+    topic = "chaos"
+    clock = ManualClock()
+    cluster = FabricCluster(num_brokers=brokers, name=f"chaos-{seed}", clock=clock)
+    cluster.admin().create_topic(
+        topic,
+        TopicConfig(
+            num_partitions=partitions,
+            replication_factor=min(3, brokers),
+            min_insync_replicas=1,
+        ),
+    )
+    plan = FaultPlan.generate(
+        seed,
+        brokers=sorted(cluster._brokers),
+        topic=topic,
+        partitions=partitions,
+        horizon=horizon,
+        events=events,
+    )
+    injector = FaultInjector(cluster, plan)
+    injector.install()
+
+    rng = random.Random(seed ^ 0x5EED)
+    violations: List[str] = []
+    produced = 0
+    produce_failures = 0
+    fetch_failures = 0
+    positions = {p: 0 for p in range(partitions)}
+    dt = horizon / ticks
+
+    for tick in range(ticks):
+        clock.advance(dt)
+        injector.step()
+        # Seeded produce burst; faults may legitimately reject it.
+        for _ in range(rng.randrange(1, 4)):
+            partition = rng.randrange(partitions)
+            record = EventRecord(
+                value={"tick": tick, "n": rng.randrange(1_000_000)},
+                key=f"k{rng.randrange(8)}",
+            )
+            try:
+                cluster.append(topic, partition, record, acks=1)
+                produced += 1
+            except FabricError:
+                produce_failures += 1
+        # Committed reads must never surface an offset at/above the HW.
+        for partition in range(partitions):
+            try:
+                hw = cluster.high_watermark(topic, partition)
+                records = cluster.fetch(
+                    topic,
+                    partition,
+                    positions[partition],
+                    max_records=50,
+                    isolation="committed",
+                )
+            except FabricError:
+                fetch_failures += 1
+                continue
+            for stored in records:
+                if stored.offset >= hw:
+                    violations.append(
+                        f"committed fetch served offset {stored.offset} "
+                        f">= high watermark {hw} on {topic}[{partition}]"
+                    )
+            if records:
+                positions[partition] = records[-1].offset + 1
+
+    # ------------------------------------------------------------------ #
+    # Heal and converge
+    # ------------------------------------------------------------------ #
+    injector.heal()
+    replication = cluster._replication
+    recoveries: List[dict] = []
+    for assignment in replication.all_assignments():
+        replication.replicate_from_leader(assignment.topic, assignment.partition)
+        leader_log = cluster._brokers[assignment.leader].replica(
+            assignment.topic, assignment.partition
+        )
+        for broker_id in assignment.replicas:
+            if broker_id == assignment.leader:
+                continue
+            follower = cluster._brokers[broker_id]
+            behind = (
+                not follower.has_replica(assignment.topic, assignment.partition)
+                or follower.replica(
+                    assignment.topic, assignment.partition
+                ).log_end_offset
+                != leader_log.log_end_offset
+            )
+            if broker_id not in assignment.isr or behind:
+                outcome = replication.recover_replica(
+                    assignment.topic, assignment.partition, broker_id
+                )
+                recoveries.append(
+                    {
+                        "topic": outcome.topic,
+                        "partition": outcome.partition,
+                        "broker_id": outcome.broker_id,
+                        "recovered": outcome.recovered,
+                        "log_end_offset": outcome.log_end_offset,
+                        "attempts": outcome.attempts,
+                        "error": outcome.error,
+                    }
+                )
+        replication.replicate_from_leader(assignment.topic, assignment.partition)
+
+    # ------------------------------------------------------------------ #
+    # Invariant checks
+    # ------------------------------------------------------------------ #
+    # One accepting leader per (partition, epoch): every observed leader
+    # append within an epoch must come from the same broker.
+    accepting: Dict[Tuple[str, int, int], int] = {}
+    for broker_id, t, p, epoch, _base, _count in injector.appends:
+        key = (t, p, epoch)
+        first = accepting.setdefault(key, broker_id)
+        if first != broker_id:
+            violations.append(
+                f"two brokers ({first}, {broker_id}) accepted appends for "
+                f"{t}[{p}] in epoch {epoch}"
+            )
+
+    # Stale epochs stay fenced: a deposed leader's epoch must be rejected.
+    probe = PackedRecordBatch.from_events(
+        (EventRecord(value={"probe": True}, key="fence"),), append_time=clock.now()
+    )
+    for assignment in replication.all_assignments():
+        if assignment.leader_epoch == 0:
+            continue
+        leader = cluster._brokers[assignment.leader]
+        try:
+            leader.append_packed(
+                assignment.topic,
+                assignment.partition,
+                probe,
+                leader_epoch=assignment.leader_epoch - 1,
+            )
+            violations.append(
+                f"stale epoch {assignment.leader_epoch - 1} accepted on "
+                f"{assignment.topic}[{assignment.partition}]"
+            )
+        except FencedLeaderError:  # lint: ignore[SWALLOWED-ERROR]
+            pass  # rejection IS the invariant holding
+
+    # Replicas converge after heal: same end offset, same content hash.
+    hashes = _record_hashes(cluster, topic, partitions)
+    for partition_key, per_replica in hashes.items():
+        if len(set(per_replica.values())) > 1:
+            violations.append(
+                f"replicas diverged on {topic}[{partition_key}]: {per_replica}"
+            )
+
+    partitions_state = {}
+    for assignment in replication.all_assignments():
+        leader_log = cluster._brokers[assignment.leader].replica(
+            assignment.topic, assignment.partition
+        )
+        partitions_state[str(assignment.partition)] = {
+            "leader": assignment.leader,
+            "leader_epoch": assignment.leader_epoch,
+            "isr": sorted(assignment.isr),
+            "high_watermark": leader_log.high_watermark,
+            "log_end_offset": leader_log.log_end_offset,
+        }
+
+    report = {
+        "seed": seed,
+        "plan_digest": plan.digest(),
+        "schedule": injector.transcript(),
+        "produced": produced,
+        "produce_failures": produce_failures,
+        "fetch_failures": fetch_failures,
+        "leader_appends": len(injector.appends),
+        "recoveries": recoveries,
+        "partitions": partitions_state,
+        "record_hashes": hashes,
+        "invariant_violations": violations,
+    }
+    payload = json.dumps(report, sort_keys=True)
+    report["state_digest"] = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    injector.uninstall()
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: ``python -m repro.fabric.faults --seed 7 [--json]``.
+
+    Exit status 1 when the scenario records any invariant violation, so a
+    CI job can gate on the run directly; determinism itself is checked by
+    running twice and comparing the JSON.
+    """
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--brokers", type=int, default=3)
+    parser.add_argument("--partitions", type=int, default=2)
+    parser.add_argument("--events", type=int, default=14)
+    parser.add_argument("--ticks", type=int, default=40)
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = run_chaos_scenario(
+        args.seed,
+        brokers=args.brokers,
+        partitions=args.partitions,
+        events=args.events,
+        ticks=args.ticks,
+    )
+    if args.json:
+        print(json.dumps(report, sort_keys=True, indent=2))
+    else:
+        print(
+            f"seed={report['seed']} plan={report['plan_digest'][:12]} "
+            f"state={report['state_digest'][:12]} produced={report['produced']} "
+            f"violations={len(report['invariant_violations'])}"
+        )
+        for violation in report["invariant_violations"]:
+            print(f"  VIOLATION: {violation}")
+    return 1 if report["invariant_violations"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

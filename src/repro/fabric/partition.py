@@ -44,7 +44,11 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.common.clock import Clock, SystemClock
 from repro.common.sync import create_rlock
-from repro.fabric.errors import OffsetOutOfRangeError, RecordTooLargeError
+from repro.fabric.errors import (
+    FencedLeaderError,
+    OffsetOutOfRangeError,
+    RecordTooLargeError,
+)
 from repro.fabric.record import (
     EventRecord,
     PackedRecordBatch,
@@ -424,6 +428,18 @@ class PartitionLog:
         self._total_appended = 0  #: guarded_by _lock
         self._total_bytes = 0  #: guarded_by _lock
         self._last_append_time = 0.0  #: guarded_by _lock
+        #: Min fully-ISR-replicated offset.  ``None`` marks an *unmanaged*
+        #: log (no replication manager advancing it): the high watermark
+        #: then equals the log end, preserving standalone-log semantics.
+        #: Mutated under ``_lock``; read lock-free like ``_next_offset``
+        #: (a torn read is impossible for a CPython int, and monotonicity
+        #: makes a stale read merely conservative).
+        self._high_watermark: Optional[int] = None
+        #: Highest leader epoch seen; same locking discipline as above.
+        self._leader_epoch = 0
+        #: ``(epoch, start_offset)`` pairs, one per epoch this log has
+        #: written or adopted under — Kafka's leader-epoch checkpoint.
+        self._epoch_starts: List[Tuple[int, int]] = [(0, 0)]  #: guarded_by _lock
 
     # ------------------------------------------------------------------ #
     # Offsets
@@ -440,8 +456,64 @@ class PartitionLog:
 
     @property
     def high_watermark(self) -> int:
-        """Highest offset exposed to consumers (== log end in this model)."""
-        return self.log_end_offset
+        """First offset *not* safe to serve to committed readers.
+
+        Replication advances it to the min fully-ISR-replicated offset;
+        a log nothing replicates (``None`` sentinel — standalone tests,
+        canonical mirrors) reports its log end, the pre-HW behaviour.
+        Clamped to the log end so truncation can never leave it dangling.
+        """
+        hw = self._high_watermark
+        end = self._next_offset
+        return end if hw is None else min(hw, end)
+
+    def advance_high_watermark(self, offset: int) -> int:
+        """Monotonically raise the high watermark (never past the log end).
+
+        First call switches the log into *managed* mode: committed
+        readers are bounded by the watermark from then on.  Returns the
+        effective watermark.
+        """
+        with self._lock:
+            bounded = min(int(offset), self._next_offset)
+            current = self._high_watermark
+            if current is None or bounded > current:
+                self._high_watermark = bounded
+            return self.high_watermark
+
+    # ------------------------------------------------------------------ #
+    # Leader-epoch fencing
+    # ------------------------------------------------------------------ #
+    @property
+    def leader_epoch(self) -> int:
+        """Highest leader epoch this log has written or adopted under."""
+        return self._leader_epoch
+
+    def leader_epoch_history(self) -> List[Tuple[int, int]]:
+        """``(epoch, start_offset)`` checkpoint pairs, oldest first."""
+        with self._lock:
+            return list(self._epoch_starts)
+
+    def note_leader_epoch(self, epoch: Optional[int]) -> None:
+        """Fence a writer's epoch against the log's history.
+
+        ``None`` (an unfenced legacy writer) is accepted unchanged.  An
+        epoch older than the highest seen raises
+        :class:`FencedLeaderError` — the writer was deposed and must
+        refresh metadata.  A newer epoch is adopted and checkpointed at
+        the current log end.
+        """
+        if epoch is None:
+            return
+        with self._lock:
+            if epoch < self._leader_epoch:
+                raise FencedLeaderError(
+                    f"epoch {epoch} for {self.topic}-{self.partition} is "
+                    f"fenced: log has seen epoch {self._leader_epoch}"
+                )
+            if epoch > self._leader_epoch:
+                self._leader_epoch = epoch
+                self._epoch_starts.append((epoch, self._next_offset))
 
     def __len__(self) -> int:
         with self._lock:
@@ -722,11 +794,25 @@ class PartitionLog:
         if sub.max_append_time > self._last_append_time:
             self._last_append_time = sub.max_append_time
 
+    @staticmethod
+    def _count_before(segments: Sequence[LogSegment], bound: int) -> int:
+        """Records in the snapshot whose offset is below ``bound``."""
+        total = 0
+        for segment in segments:
+            if segment.count and segment.end_offset <= bound:
+                total += segment.count
+                continue
+            if segment.base_offset < bound:
+                total += segment.locate(bound)
+            break
+        return total
+
     def fetch(
         self,
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> Sequence[StoredRecord]:
         """Return up to ``max_records`` records starting at ``offset``.
 
@@ -735,9 +821,15 @@ class PartitionLog:
         raises :class:`OffsetOutOfRangeError`, matching Kafka semantics.
         The result is a lazy :class:`PackedView` over the log's packed
         chunks — list-compatible, decoded only on access.
+
+        ``isolation="committed"`` (the default) serves only offsets below
+        the :attr:`high_watermark`; ``"uncommitted"`` serves up to the
+        log end — the replication path reads uncommitted (followers catch
+        up on exactly the records that are not yet fully replicated).
         """
         return self.fetch_with_usage(
-            offset, max_records=max_records, max_bytes=max_bytes
+            offset, max_records=max_records, max_bytes=max_bytes,
+            isolation=isolation,
         )[0]
 
     def fetch_with_usage(
@@ -745,6 +837,7 @@ class PartitionLog:
         offset: int,
         max_records: int = 500,
         max_bytes: Optional[int] = None,
+        isolation: str = "committed",
     ) -> tuple[Sequence[StoredRecord], int]:
         """Like :meth:`fetch` but also returns the bytes consumed.
 
@@ -761,6 +854,21 @@ class PartitionLog:
         chunk's size prefix sums — O(runs · log chunk) — instead of
         sizing records one by one.
         """
+        # Committed readers stop at the high watermark; ``hw`` stays
+        # ``None`` (no bound) for uncommitted readers and for unmanaged
+        # logs (nothing replicates them — standalone use, canonical
+        # mirrors).  The common committed-unmanaged path must cost one
+        # string compare and one attribute load: the fetch bench floor
+        # measures exactly this loop against the flat log.
+        if isolation == "committed":
+            hw = self._high_watermark
+        elif isolation == "uncommitted":
+            hw = None
+        else:
+            raise ValueError(
+                f"isolation must be 'committed' or 'uncommitted', "
+                f"got {isolation!r}"
+            )
         end = self._next_offset
         if offset == end:
             return [], 0
@@ -783,6 +891,22 @@ class PartitionLog:
         if first < 0:
             first = 0
         position = segments[first].locate(offset)
+        if hw is not None and hw < end:
+            bound = hw
+            if offset >= bound:
+                return [], 0
+            # With offset gaps (compaction) the cap must count *records*,
+            # not offsets: the record-count positions of `bound` and
+            # `offset` in this snapshot bound how many records are safe
+            # to serve.
+            before_offset = position
+            for segment in segments[:first]:
+                before_offset += segment.count
+            allowed = self._count_before(segments, bound) - before_offset
+            if allowed <= 0:
+                return [], 0
+            if allowed < max_records:
+                max_records = allowed
         runs: List[tuple] = []
         if max_bytes is None:
             # No byte budget: gather whole runs (the replication path).

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Mapping, Optional
 
 from repro.common.clock import Clock, SystemClock
+from repro.common.retry import RetryPolicy
 from repro.common.sync import create_lock, create_rlock
 from repro.fabric.cluster import FabricCluster
 from repro.fabric.errors import FabricError
@@ -137,6 +138,26 @@ class FabricProducer:
         self._delivery_stop = threading.Event()
         self._delivery_thread: Optional[threading.Thread] = None
         self.metrics = ProducerMetrics()
+        # One shared RetryPolicy drives every delivery retry: exponential
+        # backoff from the configured base (``retry.backoff.ms``), capped,
+        # with a dash of deterministic jitter to de-synchronize a fleet of
+        # producers hammering a recovering broker.
+        self._retry_policy = RetryPolicy(
+            max_attempts=self.config.retries + 1,
+            base_backoff=self.config.retry_backoff_seconds,
+            multiplier=2.0,
+            max_backoff=max(1.0, self.config.retry_backoff_seconds),
+            jitter=0.2,
+        )
+
+    # Delivery retries only fabric-retriable errors; anything else
+    # (BufferError, programming errors) surfaces immediately.
+    @staticmethod
+    def _retriable(exc: BaseException) -> bool:
+        return isinstance(exc, FabricError) and exc.retriable
+
+    def _count_retry(self, attempt: int, exc: BaseException, delay: float) -> None:
+        self.metrics.retries += 1
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -317,7 +338,7 @@ class FabricProducer:
         while not self._delivery_stop.wait(interval):
             try:
                 self._flush_if_lingered()
-            except FabricError:
+            except FabricError:  # lint: ignore[SWALLOWED-ERROR]
                 # The failed batches were re-buffered; retried next tick.
                 pass
 
@@ -396,64 +417,72 @@ class FabricProducer:
     def _send_with_retries(
         self, topic: str, partition: int, record: EventRecord
     ) -> RecordMetadata:
-        attempts = 0
         start = time.perf_counter()
-        while True:
-            try:
-                metadata = self._cluster.append(
-                    topic,
-                    partition,
-                    record,
-                    acks=self.config.acks,
-                    principal=self._principal,
-                )
-                self.metrics.record_send(
-                    metadata.serialized_size, time.perf_counter() - start
-                )
-                return metadata
-            except FabricError as exc:
-                if not exc.retriable or attempts >= self.config.retries:
-                    self.metrics.records_failed += 1
-                    raise
-                attempts += 1
-                self.metrics.retries += 1
-                self._sleep(self.config.retry_backoff_seconds * attempts)
+
+        def attempt() -> RecordMetadata:
+            return self._cluster.append(
+                topic,
+                partition,
+                record,
+                acks=self.config.acks,
+                principal=self._principal,
+            )
+
+        try:
+            metadata = self._retry_policy.call(
+                attempt,
+                clock=self._clock,
+                sleep=self._sleep,
+                retriable=self._retriable,
+                on_retry=self._count_retry,
+            )
+        except FabricError:
+            self.metrics.records_failed += 1
+            raise
+        self.metrics.record_send(
+            metadata.serialized_size, time.perf_counter() - start
+        )
+        return metadata
 
     def _send_batch_with_retries(
         self, batch: RecordBatch, *, count_failures: bool = True
     ) -> List[RecordMetadata]:
         """Deliver one whole batch via the batched append path, with retries."""
-        attempts = 0
         start = time.perf_counter()
         codec = self.config.compression
-        while True:
-            try:
-                metadata = self._cluster.append_batch(
-                    batch.topic,
-                    batch.partition,
-                    # Seal once: the same packed batch object becomes the
-                    # leader log's storage chunk (no per-record re-encode).
-                    # With compression configured the seal also compresses
-                    # and CRC-stamps the body — once, reused on retries.
-                    batch.sealed_packed()
-                    if codec is None or codec == "none"
-                    else batch.sealed_wire(
-                        codec, self.config.compression_min_bytes
-                    ),
-                    acks=self.config.acks,
-                    principal=self._principal,
-                )
-                self.metrics.record_batch_send(
-                    len(metadata),
-                    sum(md.serialized_size for md in metadata),
-                    time.perf_counter() - start,
-                )
-                return metadata
-            except FabricError as exc:
-                if not exc.retriable or attempts >= self.config.retries:
-                    if count_failures:
-                        self.metrics.records_failed += len(batch)
-                    raise
-                attempts += 1
-                self.metrics.retries += 1
-                self._sleep(self.config.retry_backoff_seconds * attempts)
+
+        def attempt() -> List[RecordMetadata]:
+            return self._cluster.append_batch(
+                batch.topic,
+                batch.partition,
+                # Seal once: the same packed batch object becomes the
+                # leader log's storage chunk (no per-record re-encode).
+                # With compression configured the seal also compresses
+                # and CRC-stamps the body — once, reused on retries.
+                batch.sealed_packed()
+                if codec is None or codec == "none"
+                else batch.sealed_wire(
+                    codec, self.config.compression_min_bytes
+                ),
+                acks=self.config.acks,
+                principal=self._principal,
+            )
+
+        try:
+            metadata = self._retry_policy.call(
+                attempt,
+                clock=self._clock,
+                sleep=self._sleep,
+                retriable=self._retriable,
+                on_retry=self._count_retry,
+            )
+        except FabricError:
+            if count_failures:
+                self.metrics.records_failed += len(batch)
+            raise
+        self.metrics.record_batch_send(
+            len(metadata),
+            sum(md.serialized_size for md in metadata),
+            time.perf_counter() - start,
+        )
+        return metadata

@@ -332,7 +332,7 @@ try:  # pragma: no cover - depends on the environment
     import lz4.frame as _lz4frame
 
     register_codec("lz4", 3, _lz4frame.compress, _lz4frame.decompress)
-except ImportError:  # pragma: no cover
+except ImportError:  # pragma: no cover, lint: ignore[SWALLOWED-ERROR]
     pass
 try:  # pragma: no cover - depends on the environment
     import zstandard as _zstd
@@ -343,7 +343,7 @@ try:  # pragma: no cover - depends on the environment
         lambda data: _zstd.ZstdCompressor().compress(data),
         lambda data: _zstd.ZstdDecompressor().decompress(data),
     )
-except ImportError:  # pragma: no cover
+except ImportError:  # pragma: no cover, lint: ignore[SWALLOWED-ERROR]
     pass
 
 

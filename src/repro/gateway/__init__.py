@@ -22,12 +22,14 @@ Run ``python -m repro.gateway`` for a self-contained demo server.
 
 from repro.gateway.errors import (
     FABRIC_STATUS,
+    DrainingError,
     GatewayError,
     MalformedBodyError,
     MethodNotAllowedError,
     RouteNotFoundError,
     SchemaError,
     ServiceUnavailableError,
+    TooManyRequestsError,
     UnsupportedMediaTypeError,
     error_body,
 )
@@ -47,6 +49,7 @@ __all__ = [
     "JSON_CONTENT_TYPE",
     "ControlPlaneRouter",
     "DataPlaneRouter",
+    "DrainingError",
     "FABRIC_STATUS",
     "Gateway",
     "GatewayError",
@@ -58,6 +61,7 @@ __all__ = [
     "RouteNotFoundError",
     "SchemaError",
     "ServiceUnavailableError",
+    "TooManyRequestsError",
     "UnsupportedMediaTypeError",
     "error_body",
 ]

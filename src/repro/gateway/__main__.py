@@ -38,8 +38,8 @@ def main(argv: list[str] | None = None) -> int:
         try:
             # serve_forever runs on the background thread; park here.
             server._thread.join()  # type: ignore[union-attr]
-        except KeyboardInterrupt:
-            pass
+        except KeyboardInterrupt:  # lint: ignore[SWALLOWED-ERROR]
+            pass  # clean Ctrl-C shutdown
     return 0
 
 

@@ -94,6 +94,62 @@ class ServiceUnavailableError(GatewayError):
     retriable = True
 
 
+def _retry_after_header(seconds: float) -> Dict[str, str]:
+    """``Retry-After`` wants whole seconds; round up, floor at 1."""
+    return {"Retry-After": str(max(1, int(-(-seconds // 1))))}
+
+
+class TooManyRequestsError(GatewayError):
+    """Per-principal in-flight cap exceeded (graceful degradation).
+
+    Carries a ``Retry-After`` header (whole seconds, rounded up) so
+    well-behaved clients back off instead of hammering a saturated
+    gateway; ``retriable`` is true because the condition is transient by
+    construction — in-flight requests drain.
+    """
+
+    status = 429
+    code = "TOO_MANY_REQUESTS"
+    retriable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        details: Optional[Mapping[str, Any]] = None,
+    ):
+        super().__init__(message, details=details)
+        self.retry_after = retry_after
+        self.headers = _retry_after_header(retry_after)
+
+
+class DrainingError(GatewayError):
+    """The gateway is shutting down and no longer admits new requests.
+
+    Raised for every non-health route once
+    :meth:`repro.gateway.routers.Gateway.begin_drain` runs; in-flight
+    requests finish, parked long-polls wake and return what they have.
+    A load balancer should retry against another instance — hence
+    retriable plus ``Retry-After``.
+    """
+
+    status = 503
+    code = "DRAINING"
+    retriable = True
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        retry_after: float = 1.0,
+        details: Optional[Mapping[str, Any]] = None,
+    ):
+        super().__init__(message, details=details)
+        self.retry_after = retry_after
+        self.headers = _retry_after_header(retry_after)
+
+
 #: FabricError class -> HTTP status.  ``code``/``retriable`` ride on the
 #: exception classes themselves; see module docstring for the fallback
 #: rules that make the mapping total.
@@ -104,6 +160,7 @@ FABRIC_STATUS: Dict[Type[fabric_errors.FabricError], int] = {
     fabric_errors.UnknownGroupError: 404,
     fabric_errors.TopicAlreadyExistsError: 409,
     fabric_errors.NotLeaderError: 503,
+    fabric_errors.FencedLeaderError: 503,
     fabric_errors.NotEnoughReplicasError: 503,
     fabric_errors.BrokerUnavailableError: 503,
     fabric_errors.AuthorizationError: 403,
@@ -164,6 +221,8 @@ __all__ = [
     "RouteNotFoundError",
     "MethodNotAllowedError",
     "ServiceUnavailableError",
+    "TooManyRequestsError",
+    "DrainingError",
     "FABRIC_STATUS",
     "error_body",
 ]

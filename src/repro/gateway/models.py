@@ -249,6 +249,7 @@ class BatchFetchRequest(Model):
     max_bytes: Optional[int] = None
     max_wait_ms: int = 0
     min_bytes: int = 1
+    isolation: str = "committed"
 
     #: Parsed ``requests`` entries, installed per-instance by
     #: ``_validate`` (a ClassVar so it is not a schema field — clients
@@ -264,6 +265,8 @@ class BatchFetchRequest(Model):
             errors["max_wait_ms"] = "must be >= 0"
         if self.min_bytes < 1:
             errors["min_bytes"] = "must be >= 1"
+        if self.isolation not in ("committed", "uncommitted"):
+            errors["isolation"] = "must be 'committed' or 'uncommitted'"
         parsed = []
         for index, entry in enumerate(self.requests):
             try:

@@ -29,21 +29,25 @@ from __future__ import annotations
 import base64
 import contextlib
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
+from repro.common.retry import RetryPolicy
 from repro.common.sync import create_lock
 from repro.fabric.admin import AdminAuthorizer, FabricAdmin
 from repro.fabric.cluster import FabricCluster, FetchRequest, FetchSession
-from repro.fabric.errors import UnknownGroupError
+from repro.fabric.errors import FabricError, UnknownGroupError
 from repro.fabric.record import EventRecord, PackedRecordBatch, StoredRecord
 from repro.gateway import models
 from repro.gateway.errors import (
+    DrainingError,
     MalformedBodyError,
     MethodNotAllowedError,
     RouteNotFoundError,
     SchemaError,
     ServiceUnavailableError,
+    TooManyRequestsError,
     UnsupportedMediaTypeError,
     error_body,
 )
@@ -100,6 +104,8 @@ class GatewayResponse:
     payload: Any = None
     content_type: str = JSON_CONTENT_TYPE
     raw: Optional[bytes] = None
+    #: Extra response headers (e.g. ``Retry-After`` on 429/503).
+    headers: Dict[str, str] = field(default_factory=dict)
 
     def body_bytes(self) -> bytes:
         if self.raw is not None:
@@ -355,6 +361,13 @@ class DataPlaneRouter:
         raise SchemaError({"acks": "must be 0, 1 or 'all'"})
 
     # -- fetch --------------------------------------------------------- #
+    @staticmethod
+    def _isolation_from_query(request: GatewayRequest) -> str:
+        isolation = request.query.get("isolation", "committed")
+        if isolation not in ("committed", "uncommitted"):
+            raise SchemaError({"isolation": "must be 'committed' or 'uncommitted'"})
+        return isolation
+
     def fetch(self, request: GatewayRequest) -> GatewayResponse:
         cluster = self._gateway.cluster()
         topic = request.params["topic"]
@@ -364,11 +377,15 @@ class DataPlaneRouter:
         max_bytes = request.int_query("max_bytes", None)
         max_wait_ms = request.int_query("max_wait_ms", 0)
         min_bytes = request.int_query("min_bytes", 1)
+        isolation = self._isolation_from_query(request)
         requests = [FetchRequest(topic, partition, offset)]
 
         def fetch_once(session: FetchSession):
             served = session.fetch(
-                requests, max_records=max_records, max_bytes=max_bytes
+                requests,
+                max_records=max_records,
+                max_bytes=max_bytes,
+                isolation=isolation,
             )
             records = served.get((topic, partition), [])
             return records, sum(r.size_bytes() for r in records)
@@ -387,7 +404,8 @@ class DataPlaneRouter:
                 "next_offset": (
                     payload[-1]["offset"] + 1 if payload else offset
                 ),
-                "high_watermark": cluster.end_offset(topic, partition),
+                "high_watermark": cluster.high_watermark(topic, partition),
+                "log_end_offset": cluster.end_offset(topic, partition),
             },
         )
 
@@ -401,7 +419,10 @@ class DataPlaneRouter:
 
         def fetch_once(session: FetchSession):
             served = session.fetch(
-                requests, max_records=req.max_records, max_bytes=req.max_bytes
+                requests,
+                max_records=req.max_records,
+                max_bytes=req.max_bytes,
+                isolation=req.isolation,
             )
             nbytes = sum(
                 r.size_bytes() for records in served.values() for r in records
@@ -422,8 +443,8 @@ class DataPlaneRouter:
         ]
         return GatewayResponse(200, {"partitions": partitions})
 
-    @staticmethod
     def _long_poll(
+        self,
         cluster: FabricCluster,
         fetch_once: Callable[[], Tuple[Any, int]],
         max_wait_ms: int,
@@ -437,17 +458,27 @@ class DataPlaneRouter:
         version, so :meth:`FabricCluster.wait_for_data` returns without
         blocking and the loop re-fetches immediately.  Deadlines ride the
         cluster clock, so the gateway stays free of raw ``time`` calls.
+
+        Two PR-10 additions: transient fabric errors (a leader mid
+        failover, a broker flapping) go through the gateway's shared
+        :class:`~repro.common.retry.RetryPolicy` instead of failing the
+        request on first touch, and a draining gateway returns whatever
+        the poll has so far — :meth:`Gateway.begin_drain` wakes parked
+        waiters via :meth:`FabricCluster.interrupt_waiters`, and the
+        drain check here turns that wake-up into a prompt return.
         """
-        result, nbytes = None, 0
+        retried = self._gateway.retried_fetch(cluster, fetch_once)
         if max_wait_ms <= 0:
-            result, _ = fetch_once()
+            result, _ = retried()
             return result
         clock = cluster.clock
         deadline = clock.now() + max_wait_ms / 1000.0
         while True:
             version = cluster.append_version
-            result, nbytes = fetch_once()
+            result, nbytes = retried()
             if nbytes >= min_bytes:
+                return result
+            if self._gateway.draining:
                 return result
             remaining = deadline - clock.now()
             if remaining <= 0:
@@ -580,21 +611,57 @@ class Gateway:
     admin_authorizer:
         Optional ``(principal, operation, resource) -> bool`` hook for
         the control plane; every request's admin view routes through it.
+    max_inflight_per_principal:
+        Graceful-degradation cap: at most this many requests per
+        principal may be in flight at once; excess requests answer 429
+        with a ``Retry-After`` header instead of queueing behind parked
+        long-polls.  ``None`` (the default) means uncapped.
+    retry_after_seconds:
+        The back-off hint sent on 429/503 (drain) responses.
     """
+
+    #: Routes exempt from drain gating and in-flight caps: a load
+    #: balancer must be able to probe a saturated or draining gateway.
+    _HEALTH_PATHS = frozenset({("v1", "healthz"), ("v1", "readyz")})
+
+    #: Transient fabric errors on the fetch path (a leader mid failover,
+    #: a flapping broker) retry briefly instead of failing the request.
+    FETCH_RETRY_POLICY = RetryPolicy(
+        max_attempts=3, base_backoff=0.025, multiplier=2.0, max_backoff=0.1
+    )
 
     def __init__(
         self,
         cluster: Optional[FabricCluster] = None,
         *,
         admin_authorizer: Optional[AdminAuthorizer] = None,
+        max_inflight_per_principal: Optional[int] = None,
+        retry_after_seconds: float = 1.0,
     ) -> None:
+        if max_inflight_per_principal is not None and max_inflight_per_principal < 1:
+            raise ValueError("max_inflight_per_principal must be >= 1")
         self._cluster = cluster
         self._admin_authorizer = admin_authorizer
         self.control = ControlPlaneRouter(self)
         self.data = DataPlaneRouter(self)
-        self._routes: List[Route] = self.control.routes() + self.data.routes()
+        self._routes: List[Route] = (
+            [
+                Route("GET", "/v1/healthz", self.healthz),
+                Route("GET", "/v1/readyz", self.readyz),
+            ]
+            + self.control.routes()
+            + self.data.routes()
+        )
         self._pool_lock = create_lock("GatewaySessionPool")
         self._session_pool: Dict[Optional[str], List[FetchSession]] = {}
+        self._max_inflight = max_inflight_per_principal
+        self._retry_after = retry_after_seconds
+        # In-flight accounting and the drain flag share one condition: a
+        # drain waiter parks on it until the last in-flight request exits.
+        self._inflight_cond = threading.Condition()
+        self._inflight: Dict[Optional[str], int] = {}
+        self._inflight_total = 0
+        self._draining = False
 
     # -- dependencies --------------------------------------------------- #
     def attach(self, cluster: FabricCluster) -> None:
@@ -611,6 +678,97 @@ class Gateway:
                 "gateway has no cluster attached yet; retry after initialization"
             )
         return cluster
+
+    # -- degradation / lifecycle ---------------------------------------- #
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting requests; wake every parked long-poll.
+
+        Idempotent.  In-flight requests are left to finish — pair with
+        :meth:`await_drained` for the full graceful-shutdown sequence.
+        """
+        with self._inflight_cond:
+            self._draining = True
+        cluster = self._cluster
+        if cluster is not None:
+            # Parked wait_for_data calls wake without a version bump; the
+            # long-poll loop sees ``draining`` and returns what it has.
+            cluster.interrupt_waiters()
+
+    def await_drained(self, timeout: float = 5.0) -> bool:
+        """Block until no request is in flight (or ``timeout``); True if drained."""
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight_total == 0, timeout
+            )
+
+    def inflight(self, principal: Optional[str] = None) -> int:
+        """Current in-flight count for one principal (observability)."""
+        with self._inflight_cond:
+            return self._inflight.get(principal, 0)
+
+    def _admit(self, principal: Optional[str]) -> None:
+        with self._inflight_cond:
+            if self._draining:
+                raise DrainingError(
+                    "gateway is draining; retry against another instance",
+                    retry_after=self._retry_after,
+                )
+            count = self._inflight.get(principal, 0)
+            if self._max_inflight is not None and count >= self._max_inflight:
+                raise TooManyRequestsError(
+                    f"principal {principal!r} has {count} requests in flight "
+                    f"(cap {self._max_inflight})",
+                    retry_after=self._retry_after,
+                    details={"in_flight": count, "cap": self._max_inflight},
+                )
+            self._inflight[principal] = count + 1
+            self._inflight_total += 1
+
+    def _release(self, principal: Optional[str]) -> None:
+        with self._inflight_cond:
+            remaining = self._inflight.get(principal, 1) - 1
+            if remaining:
+                self._inflight[principal] = remaining
+            else:
+                self._inflight.pop(principal, None)
+            self._inflight_total -= 1
+            if self._inflight_total == 0:
+                self._inflight_cond.notify_all()
+
+    def retried_fetch(
+        self, cluster: FabricCluster, fetch_once: Callable[[], Tuple[Any, int]]
+    ) -> Callable[[], Tuple[Any, int]]:
+        """Wrap a fetch closure in the gateway's transient-error policy."""
+
+        def attempt() -> Tuple[Any, int]:
+            return self.FETCH_RETRY_POLICY.call(
+                fetch_once,
+                clock=cluster.clock,
+                retriable=lambda exc: (
+                    isinstance(exc, FabricError) and exc.retriable
+                ),
+            )
+
+        return attempt
+
+    # -- health probes --------------------------------------------------- #
+    def healthz(self, request: GatewayRequest) -> GatewayResponse:
+        """Liveness: the process answers — even while draining."""
+        return GatewayResponse(200, {"status": "ok"})
+
+    def readyz(self, request: GatewayRequest) -> GatewayResponse:
+        """Readiness: may this instance take traffic right now?"""
+        if self._draining:
+            return GatewayResponse(503, {"status": "draining", "ready": False})
+        if self._cluster is None:
+            return GatewayResponse(
+                503, {"status": "uninitialized", "ready": False}
+            )
+        return GatewayResponse(200, {"status": "ready", "ready": True})
 
     def admin_for(self, principal: Optional[str]) -> FabricAdmin:
         """A control-plane view for ``principal`` over the one authz hook."""
@@ -665,7 +823,13 @@ class Gateway:
         headers: Optional[Mapping[str, str]] = None,
         body: bytes = b"",
     ) -> GatewayResponse:
-        """Route one request; never raises — errors become JSON bodies."""
+        """Route one request; never raises — errors become JSON bodies.
+
+        Health probes bypass the degradation gates; every other route is
+        admitted against the drain flag and the per-principal in-flight
+        cap first, so a saturated or draining gateway answers 429/503
+        (with ``Retry-After``) instead of queueing unboundedly.
+        """
         headers = {k.lower(): v for k, v in (headers or {}).items()}
         segments = tuple(s for s in path.split("/") if s)
         try:
@@ -679,10 +843,19 @@ class Gateway:
                 body=body,
                 principal=self.principal_from_headers(headers),
             )
-            return route.handler(request)
+            if segments in self._HEALTH_PATHS:
+                return route.handler(request)
+            self._admit(request.principal)
+            try:
+                return route.handler(request)
+            finally:
+                self._release(request.principal)
         except Exception as exc:  # total: every failure maps to a body
             status, payload = error_body(exc)
-            return GatewayResponse(status, payload)
+            extra = getattr(exc, "headers", None)
+            return GatewayResponse(
+                status, payload, headers=dict(extra) if extra else {}
+            )
 
     def _match(
         self, method: str, segments: Tuple[str, ...]

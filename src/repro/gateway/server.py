@@ -48,6 +48,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
         self.send_response(response.status)
         self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(data)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         if data:
             self.wfile.write(data)
@@ -95,13 +97,27 @@ class GatewayServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, *, drain_timeout: float = 5.0) -> None:
+        """Gracefully stop: drain the application, then close the socket.
+
+        :meth:`Gateway.begin_drain` flips new requests to 503 ``DRAINING``
+        and wakes every parked long-poll, :meth:`Gateway.await_drained`
+        waits for in-flight handlers to finish, and only then does the
+        listener shut down — so a stop never strands a client mid-poll
+        or cuts a response off mid-write.
+        """
         if self._thread is None:
             return
+        self.gateway.begin_drain()
+        self.gateway.await_drained(timeout=drain_timeout)
         self._http.shutdown()
         self._thread.join(timeout=5.0)
         self._http.server_close()
         self._thread = None
+
+    def close(self, *, drain_timeout: float = 5.0) -> None:
+        """Alias for :meth:`stop` — the graceful-shutdown entry point."""
+        self.stop(drain_timeout=drain_timeout)
 
     def __enter__(self) -> "GatewayServer":
         return self.start()

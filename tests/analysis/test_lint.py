@@ -474,3 +474,97 @@ def repo_root():
     if not (root / "src" / "repro").is_dir():  # pragma: no cover
         pytest.skip("repo layout not available")
     return root
+
+
+class TestSwallowedError:
+    def test_bare_pass_handler_flagged(self):
+        violations = run(
+            """
+            def replicate():
+                try:
+                    push()
+                except Exception:
+                    pass
+            """
+        )
+        assert "SWALLOWED-ERROR" in codes(violations)
+
+    def test_continue_only_handler_flagged(self):
+        violations = run(
+            """
+            def drain(items):
+                for item in items:
+                    try:
+                        handle(item)
+                    except ValueError:
+                        continue
+            """
+        )
+        assert "SWALLOWED-ERROR" in codes(violations)
+
+    def test_message_names_the_caught_type(self):
+        violations = run(
+            """
+            def replicate():
+                try:
+                    push()
+                except (OSError, ValueError):
+                    pass
+            """
+        )
+        found = [v for v in violations if v.rule == "SWALLOWED-ERROR"]
+        assert len(found) == 1
+        assert "(OSError, ValueError)" in found[0].message
+
+    def test_handler_that_acts_is_clean(self):
+        violations = run(
+            """
+            def replicate():
+                try:
+                    push()
+                except ValueError as exc:
+                    log(exc)
+            """
+        )
+        assert "SWALLOWED-ERROR" not in codes(violations)
+
+    def test_reraise_is_clean(self):
+        violations = run(
+            """
+            def replicate():
+                try:
+                    push()
+                except ValueError:
+                    raise
+            """
+        )
+        assert "SWALLOWED-ERROR" not in codes(violations)
+
+    def test_scope_limited_to_fabric_and_gateway(self):
+        snippet = """
+            def helper():
+                try:
+                    work()
+                except Exception:
+                    pass
+            """
+        flagged = lint_source(
+            textwrap.dedent(snippet), "src/repro/gateway/helper.py"
+        )
+        unflagged = lint_source(
+            textwrap.dedent(snippet), "src/repro/analysis/helper.py"
+        )
+        assert "SWALLOWED-ERROR" in codes(flagged)
+        assert "SWALLOWED-ERROR" not in codes(unflagged)
+
+    def test_inline_ignore_suppresses(self):
+        violations = run(
+            """
+            def replicate():
+                try:
+                    push()
+                except ValueError:  # lint: ignore[SWALLOWED-ERROR]
+                    pass
+            """
+        )
+        assert "SWALLOWED-ERROR" not in codes(violations)

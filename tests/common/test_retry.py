@@ -1,0 +1,174 @@
+"""RetryPolicy: backoff arithmetic, determinism, deadline, retriability.
+
+The policy is the one retry loop shared by producer delivery, replica
+recovery and the gateway long-poll (PR 10), so its contract is pinned
+here once rather than re-tested per adopter.
+"""
+
+import pytest
+
+from repro.common.clock import ManualClock
+from repro.common.retry import RetryPolicy, default_retriable
+
+
+class Flaky:
+    """Fails ``failures`` times with ``exc_factory()``, then returns 42."""
+
+    def __init__(self, failures, exc_factory):
+        self.failures = failures
+        self.exc_factory = exc_factory
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_factory()
+        return 42
+
+
+class RetriableError(Exception):
+    retriable = True
+
+
+class FatalError(Exception):
+    retriable = False
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=-1.0)
+
+    def test_frozen_value_object(self):
+        policy = RetryPolicy()
+        with pytest.raises(Exception):
+            policy.max_attempts = 9
+
+
+class TestBackoff:
+    def test_exponential_with_cap(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, max_backoff=0.5)
+        assert policy.backoff_for(1) == pytest.approx(0.1)
+        assert policy.backoff_for(2) == pytest.approx(0.2)
+        assert policy.backoff_for(3) == pytest.approx(0.4)
+        assert policy.backoff_for(4) == pytest.approx(0.5)  # capped
+        assert policy.backoff_for(10) == pytest.approx(0.5)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_for(0)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(base_backoff=0.1, jitter=0.5, seed=7)
+        b = RetryPolicy(base_backoff=0.1, jitter=0.5, seed=7)
+        c = RetryPolicy(base_backoff=0.1, jitter=0.5, seed=8)
+        series_a = [a.backoff_for(n) for n in range(1, 6)]
+        series_b = [b.backoff_for(n) for n in range(1, 6)]
+        series_c = [c.backoff_for(n) for n in range(1, 6)]
+        assert series_a == series_b
+        assert series_a != series_c
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=1.0, jitter=0.25)
+        for attempt in range(1, 20):
+            delay = policy.backoff_for(attempt)
+            assert 0.1 <= delay < 0.1 * 1.25
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self):
+        clock = ManualClock()
+        fn = Flaky(2, RetriableError)
+        policy = RetryPolicy(max_attempts=4, base_backoff=0.1)
+        assert policy.call(fn, clock=clock) == 42
+        assert fn.calls == 3
+        # Backoffs advanced the manual clock: 0.1 + 0.2.
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_non_retriable_raises_immediately(self):
+        fn = Flaky(5, FatalError)
+        with pytest.raises(FatalError):
+            RetryPolicy(max_attempts=4).call(fn, clock=ManualClock())
+        assert fn.calls == 1
+
+    def test_exhaustion_reraises_last_error(self):
+        fn = Flaky(99, RetriableError)
+        with pytest.raises(RetriableError):
+            RetryPolicy(max_attempts=3, base_backoff=0.01).call(
+                fn, clock=ManualClock()
+            )
+        assert fn.calls == 3
+
+    def test_deadline_clamps_and_stops(self):
+        clock = ManualClock()
+        fn = Flaky(99, RetriableError)
+        policy = RetryPolicy(
+            max_attempts=50, base_backoff=1.0, multiplier=1.0, deadline=2.5
+        )
+        with pytest.raises(RetriableError):
+            policy.call(fn, clock=clock)
+        # Sleeps 1.0, 1.0, then the 0.5 remainder; the next failure finds
+        # the budget exhausted and re-raises instead of sleeping on.
+        assert clock.now() == pytest.approx(2.5)
+        assert fn.calls == 4
+
+    def test_on_retry_observes_each_backoff(self):
+        seen = []
+        fn = Flaky(2, RetriableError)
+        RetryPolicy(max_attempts=4, base_backoff=0.1).call(
+            fn,
+            clock=ManualClock(),
+            on_retry=lambda attempt, exc, delay: seen.append((attempt, delay)),
+        )
+        assert [a for a, _ in seen] == [1, 2]
+        assert seen[0][1] == pytest.approx(0.1)
+        assert seen[1][1] == pytest.approx(0.2)
+
+    def test_custom_sleep_receives_delays(self):
+        slept = []
+        fn = Flaky(1, RetriableError)
+        RetryPolicy(max_attempts=2, base_backoff=0.05).call(
+            fn, clock=ManualClock(), sleep=slept.append
+        )
+        assert slept == [pytest.approx(0.05)]
+
+    def test_custom_retriable_predicate(self):
+        fn = Flaky(1, KeyError)  # KeyError has no .retriable
+        policy = RetryPolicy(max_attempts=3, base_backoff=0.0)
+        with pytest.raises(KeyError):
+            policy.call(fn, clock=ManualClock())
+        fn = Flaky(1, KeyError)
+        assert (
+            policy.call(
+                fn,
+                clock=ManualClock(),
+                retriable=lambda exc: isinstance(exc, KeyError),
+            )
+            == 42
+        )
+
+
+class TestDefaultRetriable:
+    def test_duck_typed_retriable_attribute(self):
+        assert default_retriable(RetriableError())
+        assert not default_retriable(FatalError())
+        assert not default_retriable(ValueError("no attribute"))
+
+    def test_matches_fabric_errors(self):
+        from repro.fabric.errors import (
+            BrokerUnavailableError,
+            FencedLeaderError,
+            UnknownTopicError,
+        )
+
+        assert default_retriable(BrokerUnavailableError("down"))
+        assert default_retriable(FencedLeaderError("fenced"))
+        assert not default_retriable(UnknownTopicError("missing"))

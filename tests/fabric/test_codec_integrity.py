@@ -238,7 +238,10 @@ class TestReplicaRecovery:
         with pytest.raises(CorruptBatchError):
             damaged_view[0].record
 
-        end = cluster._replication.recover_replica("events", 0, follower_id)
+        outcome = cluster._replication.recover_replica("events", 0, follower_id)
+        assert outcome.recovered
+        assert outcome.attempts == 1
+        end = outcome.log_end_offset
         assert end == leader_log.log_end_offset
 
         recovered = cluster._brokers[follower_id].replica("events", 0)

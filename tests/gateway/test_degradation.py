@@ -1,0 +1,312 @@
+"""Gateway degradation: health probes, 429 caps, graceful drain, fencing.
+
+PR 10's graceful-degradation contract: a saturated gateway answers 429
+with ``Retry-After`` instead of queueing unboundedly; ``/v1/healthz`` /
+``/v1/readyz`` give a load balancer liveness and readiness regardless of
+drain state; ``begin_drain`` flips new traffic to 503 ``DRAINING`` while
+waking every parked long-poll (so ``GatewayServer.close()`` never
+strands a client); and the fabric's new :class:`FencedLeaderError` maps
+to a retriable 503.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fabric.cluster import FabricCluster
+from repro.fabric.errors import FencedLeaderError
+from repro.fabric.topic import TopicConfig
+from repro.gateway import Gateway, GatewayServer
+from repro.gateway.errors import DrainingError, TooManyRequestsError, error_body
+
+
+def _make_topic(cluster, name="events", partitions=1):
+    cluster.admin().create_topic(
+        name, TopicConfig(num_partitions=partitions, replication_factor=2)
+    )
+
+
+class TestHealthEndpoints:
+    def test_healthz_always_ok(self, client):
+        response = client.get("/v1/healthz")
+        assert response.status == 200
+        assert response.payload == {"status": "ok"}
+
+    def test_readyz_ready_with_cluster(self, client):
+        response = client.get("/v1/readyz")
+        assert response.status == 200
+        assert response.payload["ready"] is True
+
+    def test_readyz_503_when_uninitialized(self, make_client):
+        client = make_client(Gateway())
+        assert client.get("/v1/healthz").status == 200
+        response = client.get("/v1/readyz")
+        assert response.status == 503
+        assert response.payload["status"] == "uninitialized"
+
+    def test_readyz_503_when_draining_but_healthz_stays_up(
+        self, gateway, client
+    ):
+        gateway.begin_drain()
+        assert client.get("/v1/healthz").status == 200
+        response = client.get("/v1/readyz")
+        assert response.status == 503
+        assert response.payload["status"] == "draining"
+
+
+class TestInflightCaps:
+    def test_cap_rejects_with_429_and_retry_after(self, cluster, make_client):
+        _make_topic(cluster)
+        gateway = Gateway(
+            cluster, max_inflight_per_principal=1, retry_after_seconds=2.0
+        )
+        client = make_client(gateway)
+
+        # Park one long-poll for the principal, then hit the cap.
+        started = threading.Event()
+        parked_status = []
+
+        def parked():
+            started.set()
+            response = client.get(
+                "/v1/topics/events/partitions/0/records",
+                query={"max_wait_ms": "5000", "offset": "0"},
+                principal="alice",
+            )
+            parked_status.append(response.status)
+
+        thread = threading.Thread(target=parked, daemon=True)
+        thread.start()
+        started.wait(timeout=2.0)
+        deadline = time.monotonic() + 2.0
+        while gateway.inflight("alice") == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert gateway.inflight("alice") == 1
+
+        rejected = client.get(
+            "/v1/topics/events/partitions/0/records",
+            query={"offset": "0"},
+            principal="alice",
+        )
+        assert rejected.status == 429
+        assert rejected.payload["code"] == "TOO_MANY_REQUESTS"
+        assert rejected.payload["retriable"] is True
+        assert rejected.headers.get("Retry-After") == "2"
+        assert rejected.payload["details"] == {"in_flight": 1, "cap": 1}
+
+        # A different principal has its own budget.
+        other = client.get(
+            "/v1/topics/events/partitions/0/records",
+            query={"offset": "0"},
+            principal="bob",
+        )
+        assert other.status == 200
+
+        # Unpark via drain so the worker thread exits promptly.
+        gateway.begin_drain()
+        thread.join(timeout=5.0)
+        assert parked_status == [200]
+
+    def test_cap_releases_after_request_finishes(self, cluster, make_client):
+        _make_topic(cluster)
+        gateway = Gateway(cluster, max_inflight_per_principal=1)
+        client = make_client(gateway)
+        for _ in range(3):  # sequential requests never trip the cap
+            response = client.get(
+                "/v1/topics/events/partitions/0/records",
+                query={"offset": "0"},
+                principal="alice",
+            )
+            assert response.status == 200
+        assert gateway.inflight("alice") == 0
+
+    def test_cap_validation(self, cluster):
+        with pytest.raises(ValueError):
+            Gateway(cluster, max_inflight_per_principal=0)
+
+
+class TestDrain:
+    def test_drain_rejects_new_requests_with_503(self, gateway, client):
+        gateway.begin_drain()
+        assert gateway.draining
+        response = client.get("/v1/cluster")
+        assert response.status == 503
+        assert response.payload["code"] == "DRAINING"
+        assert response.payload["retriable"] is True
+        assert "Retry-After" in response.headers
+
+    def test_drain_wakes_parked_long_poll(self, cluster, gateway, client):
+        _make_topic(cluster)
+        results = []
+
+        def poll():
+            results.append(
+                client.get(
+                    "/v1/topics/events/partitions/0/records",
+                    query={"max_wait_ms": "30000", "offset": "0"},
+                )
+            )
+
+        thread = threading.Thread(target=poll, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while gateway.inflight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        gateway.begin_drain()
+        thread.join(timeout=5.0)  # must NOT take the 30s budget
+        assert not thread.is_alive()
+        assert results[0].status == 200
+        assert results[0].payload["records"] == []
+        assert gateway.await_drained(timeout=2.0)
+
+    def test_await_drained_when_idle(self, gateway):
+        assert gateway.await_drained(timeout=0.1)
+
+
+class TestServerClose:
+    def test_close_drains_parked_poll_over_the_socket(self):
+        cluster = FabricCluster(num_brokers=2, name="drain-socket")
+        _make_topic(cluster)
+        gateway = Gateway(cluster)
+        server = GatewayServer(gateway).start()
+        url = server.url
+        statuses = []
+
+        def poll():
+            request = urllib.request.Request(
+                f"{url}/v1/topics/events/partitions/0/records"
+                "?max_wait_ms=30000&offset=0"
+            )
+            with urllib.request.urlopen(request, timeout=15) as response:
+                statuses.append(response.status)
+
+        thread = threading.Thread(target=poll, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 2.0
+        while gateway.inflight() == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        started = time.monotonic()
+        server.close()  # graceful: drain, then shut the socket
+        elapsed = time.monotonic() - started
+        thread.join(timeout=5.0)
+        assert statuses == [200]
+        assert elapsed < 10.0  # nowhere near the 30s poll budget
+
+        # Post-close the socket is really gone.
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(f"{url}/v1/healthz", timeout=1)
+
+    def test_stop_remains_idempotent(self):
+        server = GatewayServer(Gateway(FabricCluster(num_brokers=1))).start()
+        server.close()
+        server.close()
+        server.stop()
+
+
+class TestErrorMapping:
+    def test_fenced_leader_maps_to_retriable_503(self):
+        status, body = error_body(FencedLeaderError("stale epoch 3"))
+        assert status == 503
+        assert body["code"] == "FENCED_LEADER"
+        assert body["retriable"] is True
+
+    def test_draining_and_429_bodies_are_schema_shaped(self):
+        status, body = error_body(DrainingError("bye", retry_after=3.0))
+        assert (status, body["code"], body["retriable"]) == (503, "DRAINING", True)
+        status, body = error_body(TooManyRequestsError("cap", retry_after=0.2))
+        assert (status, body["code"]) == (429, "TOO_MANY_REQUESTS")
+
+    def test_retry_after_rounds_up_to_whole_seconds(self):
+        assert TooManyRequestsError("x", retry_after=0.2).headers == {
+            "Retry-After": "1"
+        }
+        assert TooManyRequestsError("x", retry_after=1.5).headers == {
+            "Retry-After": "2"
+        }
+
+
+class TestIsolationParameter:
+    def test_fetch_rejects_bad_isolation(self, cluster, client):
+        _make_topic(cluster)
+        response = client.get(
+            "/v1/topics/events/partitions/0/records",
+            query={"isolation": "dirty"},
+        )
+        assert response.status == 400
+        assert "isolation" in response.payload["details"]["fields"]
+
+    def test_batch_fetch_rejects_bad_isolation(self, cluster, client):
+        _make_topic(cluster)
+        response = client.post(
+            "/v1/fetch",
+            json_body={
+                "requests": [{"topic": "events", "partition": 0, "offset": 0}],
+                "isolation": "dirty",
+            },
+        )
+        assert response.status == 400
+        assert "isolation" in response.payload["details"]["fields"]
+
+    def test_fetch_reports_high_watermark_and_log_end(self, cluster, client):
+        _make_topic(cluster)
+        client.post(
+            "/v1/topics/events/partitions/0/records",
+            json_body={"records": [{"value": {"n": 0}}, {"value": {"n": 1}}]},
+        )
+        response = client.get(
+            "/v1/topics/events/partitions/0/records", query={"offset": "0"}
+        )
+        assert response.status == 200
+        # Gateway produce replicates synchronously, so committed == end.
+        assert response.payload["high_watermark"] == 2
+        assert response.payload["log_end_offset"] == 2
+        assert len(response.payload["records"]) == 2
+        uncommitted = client.get(
+            "/v1/topics/events/partitions/0/records",
+            query={"offset": "0", "isolation": "uncommitted"},
+        )
+        assert len(uncommitted.payload["records"]) == 2
+
+
+class TestRetryAfterOverSocket:
+    def test_429_header_crosses_the_wire(self):
+        cluster = FabricCluster(num_brokers=2, name="cap-socket")
+        _make_topic(cluster)
+        gateway = Gateway(
+            cluster, max_inflight_per_principal=1, retry_after_seconds=1.0
+        )
+        with GatewayServer(gateway) as server:
+            started = threading.Event()
+
+            def parked():
+                request = urllib.request.Request(
+                    f"{server.url}/v1/topics/events/partitions/0/records"
+                    "?max_wait_ms=10000&offset=0",
+                    headers={"Authorization": "Bearer alice"},
+                )
+                started.set()
+                with urllib.request.urlopen(request, timeout=15):
+                    pass
+
+            thread = threading.Thread(target=parked, daemon=True)
+            thread.start()
+            started.wait(timeout=2.0)
+            deadline = time.monotonic() + 2.0
+            while gateway.inflight("alice") == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+            request = urllib.request.Request(
+                f"{server.url}/v1/topics/events/partitions/0/records?offset=0",
+                headers={"Authorization": "Bearer alice"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=5)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert body["code"] == "TOO_MANY_REQUESTS"
+        thread.join(timeout=5.0)
